@@ -1,0 +1,88 @@
+// BER bathtub study (ours): what the delay circuit and the jitter
+// injector do to the receiver's BER margin. Extrapolates the measured
+// TJ/RJ/DJ decomposition to BER 1e-12 eye openings — the figure of merit
+// an ATE program actually ships against.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/channel.h"
+#include "core/jitter_injector.h"
+#include "measure/bathtub.h"
+#include "measure/jitter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+namespace {
+
+void report(const char* label, const meas::JitterReport& j) {
+  const double open = meas::eye_opening_at_ber(
+      j.ui_ps, std::max(j.rj_rms_ps, 1e-3), j.dj_pp_ps, 1e-12);
+  std::printf("  %-28s TJ %5.1f  RJ %4.2f  DJ %4.1f  ->"
+              " eye@1e-12 %6.1f ps (%4.1f%% UI)\n",
+              label, j.tj_pp_ps, j.rj_rms_ps, j.dj_pp_ps, open,
+              100.0 * open / j.ui_ps);
+}
+
+void print_curve(const meas::JitterReport& j) {
+  const auto curve = meas::bathtub_curve(j);
+  std::printf("    phase(ps)  BER (log10)\n");
+  for (std::size_t i = 0; i < curve.size(); i += 4) {
+    const double l = curve[i].ber > 0 ? std::log10(curve[i].ber) : -99.0;
+    const int col = static_cast<int>(std::min(99.0, -l) * 0.55);
+    std::printf("    %8.1f   %6.1f |%.*s*\n", curve[i].phase_ps, l, col,
+                "                                                        ");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("BER bathtub curves through the delay circuit",
+                "(ours; dual-Dirac extrapolation of the jitter data)");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 4.8;
+  sc.rj_sigma_ps = 1.5;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, 768), sc, &rng);
+  const auto jo = bench::settled_jitter();
+
+  bench::section("Jitter decomposition and 1e-12 eye openings");
+  const auto j_in = meas::measure_jitter(stim.wf, stim.unit_interval_ps, jo);
+  report("source", j_in);
+
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(), rng.fork(1));
+  ch.select_tap(1);
+  ch.set_vctrl(0.75);
+  const auto out = ch.process(stim.wf);
+  const auto j_out = meas::measure_jitter(out, stim.unit_interval_ps, jo);
+  report("through delay circuit", j_out);
+
+  core::JitterInjectorConfig jc;
+  jc.noise_pp_v = 0.6;
+  core::JitterInjector inj(jc, rng.fork(2));
+  sig::SynthConfig sc32 = sc;
+  sc32.rate_gbps = 3.2;
+  util::Rng r2(77);
+  const auto stim32 = sig::synthesize_nrz(sig::prbs(7, 768), sc32, &r2);
+  const auto stressed = inj.process(stim32.wf);
+  const auto j_str =
+      meas::measure_jitter(stressed, stim32.unit_interval_ps, jo);
+  report("with 0.6 Vpp injection", j_str);
+
+  bench::section("Bathtub, through delay circuit (4.8 Gbps)");
+  print_curve(j_out);
+
+  bench::section("Bathtub, with injection (3.2 Gbps)");
+  print_curve(j_str);
+
+  std::printf(
+      "\n  takeaway: the delay circuit costs a few ps of 1e-12 margin —\n"
+      "  consistent with the paper's added-jitter budget — while the\n"
+      "  injector can dial the margin away on demand for tolerance test.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Data-dependent jitter study (ours): where does the circuit's
+// deterministic jitter come from?
+//
+// The DDJ analyzer buckets crossing residuals by the length of the
+// preceding run. Two mechanisms show up in the model, both physical:
+// incomplete settling (classic ISI, grows with rate) and the VGA bias
+// droop (delay tracks recent switching activity). The run-length
+// signature below is measured with stage noise disabled, so everything
+// shown is deterministic.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/fine_delay.h"
+#include "measure/jitter.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+namespace {
+
+meas::DdjReport ddj_for(double rate_gbps, util::Rng rng) {
+  sig::SynthConfig sc;
+  sc.rate_gbps = rate_gbps;
+  const auto stim =
+      sig::synthesize_nrz(sig::run_length_stress(512, 6), sc);
+  core::FineDelayConfig fc;
+  fc.stage.noise_sigma_v = 0.0;
+  fc.output_stage.noise_sigma_v = 0.0;
+  core::FineDelayLine line(fc, rng);
+  line.set_vctrl(0.75);
+  const auto out = line.process(stim.wf);
+  sig::EdgeExtractOptions eo;
+  eo.hysteresis_v = 0.1;
+  eo.t_min_ps = 12000.0;
+  const auto edges = sig::extract_edges(out, eo);
+  return meas::analyze_ddj(sig::edge_times(edges), stim.unit_interval_ps);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Deterministic (data-dependent) jitter by run length",
+                "(ours; decomposes the circuit's DJ mechanisms)");
+
+  for (double rate : {1.6, 3.2, 6.4}) {
+    util::Rng rng(2008);
+    const auto rep = ddj_for(rate, rng.fork(1));
+    std::printf("\n--- %.1f Gbps, run-length-stress pattern ---\n", rate);
+    std::printf("  %8s %6s %12s %10s\n", "run(UI)", "n", "mean(ps)",
+                "sd(ps)");
+    for (const auto& b : rep.buckets) {
+      if (b.n < 5) continue;
+      std::printf("  %8d %6zu %+12.2f %10.2f\n", b.run_ui, b.n, b.mean_ps,
+                  b.stddev_ps);
+    }
+    std::printf("  DDJ (pk-pk of bucket means): %.2f ps\n", rep.ddj_pp_ps);
+  }
+
+  std::printf(
+      "\n  DDJ grows with rate as the stages settle less completely per\n"
+      "  bit — the same physics that erodes the delay range in Fig. 15.\n"
+      "  Below 6 Gbps the deterministic part stays within a few ps,\n"
+      "  consistent with the paper's total added-jitter budget.\n");
+  return 0;
+}

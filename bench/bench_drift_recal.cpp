@@ -1,0 +1,69 @@
+// Thermal drift and recalibration (ours): a deskew done cold degrades as
+// the board under the DIB heats with DUT power. We program a delay from
+// a cold calibration, "heat" the channel, measure the error, then rerun
+// the calibration at temperature and show the error collapsing — the
+// operational reason ATE flows periodically recalibrate.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "core/drift.h"
+#include "core/requirements.h"
+#include "measure/delay_meter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("Thermal drift vs recalibration",
+                "(ours; calibration-stability study)");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, 96), sc);
+  core::DelayCalibrator::Options o;
+  o.n_vctrl_points = 9;
+  const core::DelayCalibrator calibrator(o);
+  const core::ThermalDrift drift;
+  const double target = 70.0;
+
+  // Cold calibration.
+  core::VariableDelayChannel cold(core::ChannelConfig::prototype(),
+                                  rng.fork(1));
+  const auto cal_cold = calibrator.calibrate(cold, stim.wf);
+  const auto set_cold = cal_cold.plan(target);
+
+  bench::section("Programming error vs temperature (cold calibration)");
+  std::printf("  %8s %14s %14s\n", "dT (C)", "stale-cal err", "recal err");
+  for (double dt : {0.0, 10.0, 20.0, 40.0, 60.0}) {
+    core::VariableDelayChannel hot(
+        drift.apply(core::ChannelConfig::prototype(), dt), rng.fork(1));
+    // (a) program with the stale cold calibration
+    hot.select_tap(set_cold.tap);
+    hot.set_vctrl(set_cold.vctrl_v);
+    const double stale =
+        meas::measure_delay(stim.wf, hot.process(stim.wf)).mean_ps -
+        cal_cold.base_latency_ps - target;
+    // (b) recalibrate at temperature, then program
+    const auto cal_hot = calibrator.calibrate(hot, stim.wf);
+    const auto set_hot = cal_hot.plan(target);
+    hot.select_tap(set_hot.tap);
+    hot.set_vctrl(set_hot.vctrl_v);
+    const double fresh =
+        meas::measure_delay(stim.wf, hot.process(stim.wf)).mean_ps -
+        cal_hot.base_latency_ps - target;
+    std::printf("  %8.0f %+13.2f %+13.2f ps\n", dt, stale, fresh);
+  }
+  std::printf(
+      "\n  the stale-calibration error grows with temperature and crosses\n"
+      "  the +/-%.0f ps channel-accuracy budget within tens of degrees;\n"
+      "  recalibrating at temperature restores ~sub-ps programming.\n"
+      "  (absolute latency drift is larger still — a full deskew pass,\n"
+      "  not just the fine trim, is what production flows re-run.)\n",
+      core::Requirements::kChannelSkewPs);
+  return 0;
+}

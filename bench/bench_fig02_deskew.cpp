@@ -1,0 +1,104 @@
+// Fig. 1 / Fig. 2 reproduction: deskewing a parallel ATE bus.
+//
+// A 4-lane 6.4 Gbps bus with random channel skew is shown (a) raw,
+// (b) after the ATE's native ~100 ps-step deskew, and (c) after the
+// per-channel variable-delay circuits are calibrated and programmed.
+// The common DUT sampling window across all lanes (the practical payoff
+// of Fig. 1's clock centering) is reported for each stage.
+#include <cstdio>
+
+#include "ate/bus.h"
+#include "ate/controller.h"
+#include "ate/dut.h"
+#include "bench/common.h"
+#include "core/requirements.h"
+#include "signal/pattern.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+namespace {
+
+// Common error-free strobe window across all lanes through their delay
+// channels at the current programming.
+double common_window(ate::AteBus& bus,
+                     std::vector<core::VariableDelayChannel>& delays,
+                     const sig::BitPattern& training) {
+  ate::DutReceiver rx;
+  std::vector<ate::PhaseScan> scans;
+  const double ui = 1000.0 / bus.config().rate_gbps;
+  for (int i = 0; i < bus.n_channels(); ++i) {
+    const auto launched = bus.channel(i).drive(training);
+    const auto received = delays[static_cast<std::size_t>(i)].process(launched.wf);
+    scans.push_back(rx.scan_phase(received, training, ui,
+                                  bus.config().synth.lead_in_ps + ui / 2.0,
+                                  training.size() - 16, 48));
+  }
+  return ate::intersect_scans(scans, ui).window_ps;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Parallel-bus deskew: raw -> ATE-native -> ps-deskew",
+                "Fig. 1 / Fig. 2 (motivating application)");
+
+  util::Rng rng(2008);
+  ate::AteBusConfig bc;
+  bc.n_channels = 4;
+  bc.rate_gbps = 6.4;
+  bc.skew_span_ps = 260.0;
+  bc.rj_sigma_ps = 0.8;
+  ate::AteBus bus(bc, rng.fork(1));
+
+  std::vector<core::VariableDelayChannel> delays;
+  for (int i = 0; i < bc.n_channels; ++i)
+    delays.emplace_back(core::ChannelConfig::prototype(),
+                        rng.fork(10 + static_cast<std::uint64_t>(i)));
+
+  const auto training = sig::prbs(7, 96);
+  const double ui = 1000.0 / bc.rate_gbps;
+
+  bench::section("Channel skews as launched (Fig. 2a)");
+  for (int i = 0; i < bc.n_channels; ++i)
+    std::printf("  DATA_%d: static skew %+8.1f ps\n", i + 1,
+                bus.channel(i).static_skew_ps());
+  std::printf("  bus skew span: %.1f ps (UI = %.2f ps)\n",
+              bus.launch_skew_span_ps(), ui);
+  const double w_raw = common_window(bus, delays, training);
+  std::printf("  common DUT sampling window: %.1f ps\n", w_raw);
+
+  bench::section("After ATE-native deskew (100 ps steps)");
+  bus.apply_native_deskew();
+  for (int i = 0; i < bc.n_channels; ++i)
+    std::printf("  DATA_%d: programmed %+d steps -> residual %+7.1f ps\n",
+                i + 1, bus.channel(i).programmed_steps(),
+                bus.channel(i).launch_offset_ps());
+  std::printf("  bus skew span: %.1f ps (quantization-limited)\n",
+              bus.launch_skew_span_ps());
+
+  bench::section("After per-channel ps deskew (this paper's circuit)");
+  ate::DeskewController::Options opt;
+  opt.training = training;
+  opt.calibration.n_vctrl_points = 13;
+  ate::DeskewController ctl(bus, delays, opt);
+  const auto rep = ctl.run();
+  for (std::size_t i = 0; i < rep.plan.settings.size(); ++i) {
+    const auto& s = rep.plan.settings[i];
+    std::printf(
+        "  DATA_%zu: tap %d, DAC %4u (%.4f V) -> arrival %+9.2f ps\n",
+        i + 1, s.tap, s.dac_code, s.vctrl_v,
+        rep.arrival_after_ps[i] - rep.plan.target_arrival_ps);
+  }
+  std::printf("\n  skew span before : %8.2f ps\n", rep.span_before_ps);
+  std::printf("  skew span after  : %8.2f ps  (requirement: < %.0f ps)\n",
+              rep.span_after_ps, core::Requirements::kChannelSkewPs);
+  const double w_fixed = common_window(bus, delays, training);
+  std::printf("  common DUT sampling window: %.1f ps (was %.1f ps raw)\n",
+              w_fixed, w_raw);
+  std::printf("  verdict: %s\n",
+              rep.span_after_ps < core::Requirements::kChannelSkewPs
+                  ? "PASS (parallel-synchronous capture enabled)"
+                  : "FAIL");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 7 reproduction: delay vs. control voltage for the 4-stage
+// fine-adjustment circuit at 3.2 Gbps. The paper reports a ~56 ps range,
+// approximately linear through the mid-range with slope flattening near
+// the Vctrl extremes, programmed through a 12-bit DAC for sub-ps
+// resolution.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/calibration.h"
+#include "core/dac.h"
+#include "core/fine_delay.h"
+#include "measure/delay_meter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("Fine delay vs Vctrl (4-stage line)", "Fig. 7");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, 127), sc);
+
+  core::FineDelayLine line(core::FineDelayConfig{}, rng.fork(1));
+  core::DelayCalibrator::Options opt;
+  opt.n_vctrl_points = 25;
+  const auto curve =
+      core::DelayCalibrator(opt).measure_fine_curve(line, stim.wf);
+
+  bench::section("Delay vs Vctrl (relative to Vctrl = 0)");
+  std::printf("  %8s  %10s   plot\n", "Vctrl(V)", "delay(ps)");
+  const double span = curve.y_span();
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double v = curve.xs()[i];
+    const double d = curve.ys()[i];
+    const int stars = static_cast<int>(d / span * 56.0 + 0.5);
+    std::printf("  %8.3f  %10.2f   |%.*s*\n", v, d, stars,
+                "                                                        ");
+  }
+
+  const core::Dac dac;  // 12-bit over 1.5 V
+  bench::section("Summary (paper vs ours)");
+  bench::row_header();
+  bench::row("fine delay range", 56.0, span, "ps");
+  bench::row("mid-range slope", 56.0 / 1.5, curve.mid_slope(0.5), "ps/V");
+  bench::row("DAC resolution (worst LSB step)", 0.02,
+             curve.mid_slope(0.2) * dac.lsb_v() * 1.3, "ps");
+  std::printf(
+      "\n  shape check: mid-range linear, slope flattens at the extremes\n"
+      "  (end-segment slope / mid slope = %.2f, < 1 as in the paper)\n",
+      ((curve.ys()[1] - curve.ys()[0]) /
+       (curve.xs()[1] - curve.xs()[0])) /
+          curve.mid_slope(0.4));
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 9 reproduction: measured coarse-delay taps. The paper's four taps
+// are designed as 0/33/66/99 ps and measured as 0/33/70/95 ps — a few ps
+// of manufacturing deviation from the ideal increments.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/coarse_delay.h"
+#include "measure/delay_meter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("Coarse delay taps (1:4 fanout + traces + 4:1 mux)",
+                "Fig. 8 / Fig. 9");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, 127), sc);
+
+  core::CoarseDelayBlock blk(core::CoarseDelayConfig::prototype(),
+                             rng.fork(1));
+
+  const double paper_measured[4] = {0.0, 33.0, 70.0, 95.0};
+  const double paper_designed[4] = {0.0, 33.0, 66.0, 99.0};
+
+  double measured[4];
+  for (int tap = 0; tap < 4; ++tap) {
+    blk.select(tap);
+    const auto out = blk.process(stim.wf);
+    measured[tap] = meas::measure_delay(stim.wf, out).mean_ps;
+  }
+
+  bench::section("Tap delays relative to tap 0 (6.4 Gbps PRBS7)");
+  std::printf("  %4s %12s %14s %12s %12s\n", "tap", "designed(ps)",
+              "paper meas(ps)", "ours(ps)", "error(ps)");
+  for (int tap = 0; tap < 4; ++tap) {
+    const double rel = measured[tap] - measured[0];
+    std::printf("  %4d %12.1f %14.1f %12.2f %12.2f\n", tap,
+                paper_designed[tap], paper_measured[tap], rel,
+                rel - paper_designed[tap]);
+  }
+  std::printf(
+      "\n  deviations from the ideal 33 ps increments are a few ps,\n"
+      "  matching the paper's observation for the as-built prototype.\n");
+
+  bench::section("Eye at longest tap (loss + dispersion + regeneration)");
+  blk.select(3);
+  const auto out = blk.process(stim.wf);
+  bench::print_eye(out, stim.unit_interval_ps, "tap 3 output");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 13 reproduction: a DUT output at the target rate of 6.4 Gbps
+// (input TJ ~ 26 ps) passed through the delay circuit. The paper reads
+// TJ = 39 ps at the output (~13 ps added) and notes amplitude attenuation
+// from series resistors added for measurement convenience.
+#include <cstdio>
+
+#include "analog/coupling.h"
+#include "bench/common.h"
+#include "core/channel.h"
+#include "measure/jitter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("6.4 Gbps DUT signal through the delay circuit", "Fig. 13");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  const std::size_t bits = 1024;
+  // DUT-like reference: TJ ~ 26 ps pk-pk at 6.4 Gbps.
+  sc.rj_sigma_ps = sig::rj_sigma_for_tj_pp(26.0, bits / 2);
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, bits), sc, &rng);
+
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(), rng.fork(1));
+  ch.select_tap(1);
+  ch.set_vctrl(0.75);
+  auto out = ch.process(stim.wf);
+
+  // The paper's measurement hookup: series resistors attenuate the
+  // delayed trace ("not a concern for our applications").
+  analog::Attenuator pad(4.0);
+  out = pad.process(out);
+
+  auto jo = bench::settled_jitter();
+  const auto j_in = meas::measure_jitter(stim.wf, stim.unit_interval_ps, jo);
+  jo.hysteresis_v = 0.05;  // attenuated swing
+  const auto j_out = meas::measure_jitter(out, stim.unit_interval_ps, jo);
+
+  bench::section("Measurements (paper vs ours)");
+  bench::row_header();
+  bench::row("input (DUT) TJ", 26.0, j_in.tj_pp_ps, "ps");
+  bench::row("output TJ", 39.0, j_out.tj_pp_ps, "ps");
+  bench::row("added TJ", 13.0, j_out.tj_pp_ps - j_in.tj_pp_ps, "ps");
+  std::printf(
+      "\n  note: with a heavily jittered input the added pk-pk is partly\n"
+      "  masked (independent contributions add in quadrature); our model\n"
+      "  adds slightly less at 6.4 Gbps than the paper's prototype.\n");
+
+  bench::section("Eye diagrams");
+  bench::print_eye(stim.wf, stim.unit_interval_ps, "input (DUT output)");
+  bench::print_eye(out, stim.unit_interval_ps,
+                   "delayed output (attenuated by measurement pad)");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 14 reproduction: performance beyond the NRZ generator's limit,
+// probed with an RZ clock at 6.4 GHz (edge density of a 12.8 Gbps NRZ
+// stream). The paper reads a fine-delay range of 23.5 ps and TJ = 10.5 ps.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/calibration.h"
+#include "core/fine_delay.h"
+#include "measure/jitter.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("6.4 GHz clock through the 4-stage fine delay", "Fig. 14");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  const auto stim = sig::synthesize_clock(6.4, 400, sc, nullptr);
+
+  core::FineDelayLine line(core::FineDelayConfig{}, rng.fork(1));
+  const core::DelayCalibrator cal;
+  const double range = cal.measure_fine_range_periodic(
+      line, stim.wf, stim.unit_interval_ps);
+
+  line.set_vctrl(0.75);
+  const auto out = line.process(stim.wf);
+  const auto j_out =
+      meas::measure_jitter(out, stim.unit_interval_ps, bench::settled_jitter());
+
+  bench::section("Measurements (paper vs ours)");
+  bench::row_header();
+  bench::row("fine delay range @6.4 GHz clock", 23.5, range, "ps");
+  bench::row("output TJ", 10.5, j_out.tj_pp_ps, "ps");
+  std::printf(
+      "\n  known model deviation: at twice the application's maximum edge\n"
+      "  rate the behavioral stages convert compression into more jitter\n"
+      "  than the silicon prototype did; within the specified band\n"
+      "  (<= 6.4 Gbps NRZ) the jitter figures match (see Fig. 12/13).\n");
+  std::printf(
+      "\n  the range collapse vs. the ~50 ps low-rate value is emergent:\n"
+      "  at a 78 ps half-period the slew-limited output stages no longer\n"
+      "  settle to the programmed amplitude, compressing the usable\n"
+      "  amplitude span and with it the amplitude-dependent delay.\n");
+
+  bench::section("Eye diagram (folded on the 78 ps half-period)");
+  bench::print_eye(out, stim.unit_interval_ps, "delayed 6.4 GHz clock");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 16 reproduction: jitter injection at 3.2 Gbps. The paper's
+// reference trace carries ~28 ps of TJ; AC-coupling a 900 mVpp Gaussian
+// noise generator onto Vctrl raises the output TJ to ~69 ps (+41 ps).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/jitter_injector.h"
+#include "measure/jitter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+int main() {
+  bench::banner("Jitter injection via Vctrl noise at 3.2 Gbps", "Fig. 16");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const std::size_t bits = 1024;
+  sc.rj_sigma_ps = sig::rj_sigma_for_tj_pp(28.0, bits / 2);
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, bits), sc, &rng);
+
+  core::JitterInjectorConfig cfg;
+  cfg.noise_pp_v = 0.9;  // the paper's 900 mVpp generator setting
+  core::JitterInjector inj(cfg, rng.fork(1));
+
+  const auto out = inj.process(stim.wf);
+  const auto jo = bench::settled_jitter();
+  const auto j_in = meas::measure_jitter(stim.wf, stim.unit_interval_ps, jo);
+  const auto j_out = meas::measure_jitter(out, stim.unit_interval_ps, jo);
+
+  bench::section("Measurements (paper vs ours)");
+  bench::row_header();
+  bench::row("input reference TJ", 28.0, j_in.tj_pp_ps, "ps");
+  bench::row("output TJ with 900 mVpp noise", 69.0, j_out.tj_pp_ps, "ps");
+  bench::row("injected jitter", 41.0, j_out.tj_pp_ps - j_in.tj_pp_ps, "ps");
+  std::printf(
+      "\n  note: the mechanism and the linear noise-to-jitter conversion\n"
+      "  are reproduced; the absolute conversion gain lands at ~60%% of\n"
+      "  the paper's (their generator's pk-pk spec and crest factor are\n"
+      "  not documented; we assume pp = 6 sigma).\n");
+
+  bench::section("Eye diagrams");
+  bench::print_eye(stim.wf, stim.unit_interval_ps, "input reference");
+  bench::print_eye(out, stim.unit_interval_ps,
+                   "output with 900 mVpp noise on Vctrl");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Performance ablation (google-benchmark): sample-level analog simulation
+// vs the calibrated edge-domain fast model, plus the cost of the main
+// simulation building blocks. Justifies keeping both model tiers: the
+// analog model for per-figure physics, the edge model for bus-scale
+// studies (millions of bits).
+#include <benchmark/benchmark.h>
+
+#include "core/channel.h"
+#include "core/fine_delay.h"
+#include "fast/edge_model.h"
+#include "measure/jitter.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/curve.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+namespace {
+
+sig::SynthResult make_stim(std::size_t bits) {
+  sig::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  return sig::synthesize_nrz(sig::prbs(7, bits), sc);
+}
+
+fast::EdgeModelParams synthetic_params() {
+  fast::EdgeModelParams p;
+  p.base_latency_ps = 300.0;
+  p.fine_curve = util::Curve({0.0, 0.75, 1.5}, {0.0, 30.0, 55.0});
+  p.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  p.added_rj_sigma_ps = 1.5;
+  return p;
+}
+
+void BM_SynthesizeNrz(benchmark::State& state) {
+  const auto bits = sig::prbs(7, static_cast<std::size_t>(state.range(0)));
+  sig::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig::synthesize_nrz(bits, sc));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SynthesizeNrz)->Arg(64)->Arg(256);
+
+void BM_AnalogChannel(benchmark::State& state) {
+  const auto stim = make_stim(static_cast<std::size_t>(state.range(0)));
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(),
+                                util::Rng(1));
+  ch.set_vctrl(0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.process(stim.wf));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnalogChannel)->Arg(64)->Arg(256);
+
+void BM_AnalogFineLineOnly(benchmark::State& state) {
+  const auto stim = make_stim(128);
+  core::FineDelayLine line(core::FineDelayConfig{}, util::Rng(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(line.process(stim.wf));
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_AnalogFineLineOnly);
+
+void BM_FastChannel(benchmark::State& state) {
+  const auto stim = make_stim(static_cast<std::size_t>(state.range(0)));
+  const auto edges = sig::edge_times(sig::extract_edges(stim.wf));
+  fast::FastChannel ch(synthetic_params(), util::Rng(3));
+  ch.set_vctrl(0.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.transform(edges));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FastChannel)->Arg(64)->Arg(256);
+
+void BM_FastBusMillionBits(benchmark::State& state) {
+  // 8-lane bus, 125k bits per lane = 1M bit-slots per iteration: the
+  // scale at which only the edge model is practical.
+  std::vector<double> edges;
+  edges.reserve(62500);
+  for (int i = 0; i < 62500; ++i) edges.push_back(156.25 * 2 * i);
+  std::vector<fast::FastChannel> lanes;
+  for (int i = 0; i < 8; ++i)
+    lanes.emplace_back(synthetic_params(), util::Rng(10 + static_cast<std::uint64_t>(i)));
+  for (auto _ : state) {
+    for (auto& lane : lanes) benchmark::DoNotOptimize(lane.transform(edges));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(BM_FastBusMillionBits);
+
+void BM_JitterAnalysis(benchmark::State& state) {
+  const auto stim = make_stim(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meas::measure_jitter(stim.wf, stim.unit_interval_ps));
+  }
+}
+BENCHMARK(BM_JitterAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

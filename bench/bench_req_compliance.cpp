@@ -1,0 +1,103 @@
+// Requirements-compliance table (Sections 1-2 of the paper): the
+// application needs ~1 ps programming resolution, < 5 ps channel-to-
+// channel skew, minimal (< 5 ps goal) added jitter, >= 120 ps of range,
+// and operation from < 1 to 6.4 Gbps. The paper's prototype met all but
+// the jitter goal (it measured ~7 ps added below 6 Gbps) — this harness
+// reports the same scorecard for the simulated prototype.
+#include <cstdio>
+
+#include "ate/bus.h"
+#include "ate/controller.h"
+#include "bench/common.h"
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "core/requirements.h"
+#include "measure/jitter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+using R = core::Requirements;
+
+namespace {
+void verdict(const char* name, double value, double limit, bool less_is_ok,
+             const char* unit) {
+  const bool pass = less_is_ok ? value < limit : value > limit;
+  std::printf("  %-36s %9.3f %s (req %s %.1f) %s\n", name, value, unit,
+              less_is_ok ? "<" : ">", limit, pass ? "PASS" : "FAIL*");
+}
+}  // namespace
+
+int main() {
+  bench::banner("Application-requirement compliance", "Sections 1-2");
+
+  util::Rng rng(2008);
+  sig::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, 127), sc);
+
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(), rng.fork(1));
+  core::DelayCalibrator::Options co;
+  co.n_vctrl_points = 17;
+  const auto cal = core::DelayCalibrator(co).calibrate(ch, stim.wf);
+
+  bench::section("Delay programming");
+  verdict("resolution (12-bit DAC worst step)", cal.resolution_ps(),
+          R::kResolutionPs, true, "ps");
+  verdict("total delay range", cal.total_range_ps(), R::kTotalRangePs,
+          false, "ps");
+  verdict("fine range covers coarse step", cal.fine_range_ps(),
+          R::kFineRangeNeededPs, false, "ps");
+
+  bench::section("Added jitter (vs < 5 ps goal; prototype measured ~7 ps)");
+  for (double rate : {2.0, 4.8}) {
+    sig::SynthConfig jc;
+    jc.rate_gbps = rate;
+    jc.rj_sigma_ps = 1.5;
+    util::Rng jr(77 + static_cast<std::uint64_t>(rate * 10));
+    const auto js = sig::synthesize_nrz(sig::prbs(7, 512), jc, &jr);
+    ch.set_vctrl(0.75);
+    const auto out = ch.process(js.wf);
+    const auto jo = bench::settled_jitter();
+    const double added =
+        meas::measure_jitter(out, js.unit_interval_ps, jo).tj_pp_ps -
+        meas::measure_jitter(js.wf, js.unit_interval_ps, jo).tj_pp_ps;
+    char label[64];
+    std::snprintf(label, sizeof label, "added TJ at %.1f Gbps", rate);
+    verdict(label, added, R::kAddedJitterGoalPs, true, "ps");
+  }
+  std::printf("  (* the paper's own prototype also exceeded the 5 ps goal,\n"
+              "     reporting ~7 ps typical below 6 Gbps)\n");
+
+  bench::section("Channel-to-channel skew after deskew");
+  ate::AteBusConfig bc;
+  bc.n_channels = 4;
+  bc.rate_gbps = 6.4;
+  bc.skew_span_ps = 120.0;
+  ate::AteBus bus(bc, rng.fork(2));
+  std::vector<core::VariableDelayChannel> delays;
+  for (int i = 0; i < bc.n_channels; ++i)
+    delays.emplace_back(core::ChannelConfig::prototype(),
+                        rng.fork(20 + static_cast<std::uint64_t>(i)));
+  ate::DeskewController::Options opt;
+  opt.calibration.n_vctrl_points = 13;
+  ate::DeskewController ctl(bus, delays, opt);
+  const auto rep = ctl.run();
+  verdict("residual bus skew (4 lanes)", rep.span_after_ps,
+          R::kChannelSkewPs, true, "ps");
+
+  bench::section("Operating-rate span");
+  for (double rate : {0.8, 6.4}) {
+    sig::SynthConfig rc;
+    rc.rate_gbps = rate;
+    const auto rs = sig::synthesize_nrz(sig::prbs(7, 48), rc);
+    core::FineDelayLine line(core::FineDelayConfig{}, rng.fork(3));
+    const double range =
+        core::DelayCalibrator().measure_fine_range(line, rs.wf);
+    char label[64];
+    std::snprintf(label, sizeof label, "fine range at %.1f Gbps", rate);
+    verdict(label, range, R::kFineRangeNeededPs, false, "ps");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "measure/eye.h"
+#include "measure/jitter.h"
+#include "signal/synth.h"
+
+namespace gdelay::bench {
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("============================================================\n");
+}
+
+inline void section(const char* name) {
+  std::printf("\n--- %s ---\n", name);
+}
+
+/// Renders a waveform as an ASCII eye diagram (2 UI wide).
+inline void print_eye(const sig::Waveform& wf, double ui_ps,
+                      const char* label, double settle_ps = 12000.0) {
+  meas::EyeDiagram eye(ui_ps, -0.55, 0.55, 72, 18);
+  eye.accumulate(wf, 0.0, settle_ps);
+  std::printf("%s (2 UI x [-550,550] mV):\n%s", label, eye.ascii().c_str());
+}
+
+/// Quick row formatter for paper-vs-measured tables.
+inline void row(const char* name, double paper, double measured,
+                const char* unit) {
+  std::printf("  %-34s %9.2f %9.2f  %s\n", name, paper, measured, unit);
+}
+
+inline void row_header() {
+  std::printf("  %-34s %9s %9s\n", "quantity", "paper", "ours");
+}
+
+/// Jitter options that skip the stages' bias-droop settling transient.
+inline meas::JitterMeasureOptions settled_jitter() {
+  meas::JitterMeasureOptions jo;
+  jo.settle_ps = 12000.0;
+  return jo;
+}
+
+}  // namespace gdelay::bench

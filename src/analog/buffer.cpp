@@ -1,0 +1,99 @@
+#include "analog/buffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gdelay::analog {
+
+VariableGainBuffer::VariableGainBuffer(const VgaBufferConfig& cfg,
+                                       util::Rng rng)
+    : cfg_(cfg),
+      vctrl_(cfg.vctrl_max_v),
+      input_(cfg.input_gain, cfg.input_sat_v),
+      lpf_(cfg.f3db_ghz),
+      noise_(cfg.noise_sigma_v, cfg.noise_bandwidth_ghz, rng),
+      slew_(cfg.slew_v_per_ps, cfg.slew_tau_lin_ps, cfg.slew_leak_tau_ps),
+      out_pole_(cfg.output_pole_f3db_ghz) {
+  if (cfg.amp_min_v <= 0.0 || cfg.amp_max_v <= cfg.amp_min_v)
+    throw std::invalid_argument("VgaBufferConfig: need 0 < amp_min < amp_max");
+  if (cfg.vctrl_max_v <= 0.0)
+    throw std::invalid_argument("VgaBufferConfig: vctrl_max must be > 0");
+}
+
+double VariableGainBuffer::amplitude_for(double vctrl) const {
+  // Normalized control in [0, 1] with gentle tanh-shaped saturation at the
+  // ends: the commercial part's gain-control pin responds ~linearly over
+  // the middle of its range and compresses near the rails.
+  const double u = std::clamp(vctrl / cfg_.vctrl_max_v, 0.0, 1.0);
+  const double k = cfg_.ctrl_shape;
+  const double f =
+      (std::tanh(k * (u - 0.5)) / std::tanh(k * 0.5) + 1.0) / 2.0;
+  return cfg_.amp_min_v + (cfg_.amp_max_v - cfg_.amp_min_v) * f;
+}
+
+double VariableGainBuffer::amplitude() const { return amplitude_for(vctrl_); }
+
+void VariableGainBuffer::reset() {
+  input_.reset();
+  lpf_.reset();
+  noise_.reset();
+  slew_.reset();
+  out_pole_.reset();
+  droop_state_ = 0.0;
+  prev_out_ = 0.0;
+  first_sample_ = true;
+}
+
+double VariableGainBuffer::step(double vin, double dt_ps) {
+  double x = input_.step(vin, dt_ps);
+  x = lpf_.step(x, dt_ps);
+  x += noise_.step(dt_ps);
+  // Bias droop: the realized amplitude sags with recent switching
+  // activity (fraction of time the output stage was slew-limited).
+  const double a = amplitude() * (1.0 - cfg_.droop_frac * droop_state_);
+  // Limiting output stage: saturates at the (drooped) half-swing.
+  const double target =
+      a * std::tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+  const double slewed = slew_.step(target, dt_ps);
+  const double max_step = cfg_.slew_v_per_ps * dt_ps;
+  // Continuous switching-activity measure: |dV| relative to the slew
+  // limit, averaged over droop_tau. Smooth (not binary) so the droop
+  // feedback settles instead of hunting.
+  double activity = 0.0;
+  if (!first_sample_ && max_step > 0.0)
+    activity = std::min(1.0, std::abs(slewed - prev_out_) / max_step);
+  first_sample_ = false;
+  prev_out_ = slewed;
+  const double alpha = 1.0 - std::exp(-dt_ps / cfg_.droop_tau_ps);
+  droop_state_ += alpha * (activity - droop_state_);
+  return out_pole_.step(slewed, dt_ps);
+}
+
+LimitingBuffer::LimitingBuffer(const LimitingBufferConfig& cfg, util::Rng rng)
+    : cfg_(cfg),
+      input_(cfg.input_gain, cfg.input_sat_v),
+      lpf_(cfg.f3db_ghz),
+      noise_(cfg.noise_sigma_v, cfg.noise_bandwidth_ghz, rng),
+      slew_(cfg.slew_v_per_ps) {
+  if (cfg.out_swing_v <= 0.0)
+    throw std::invalid_argument("LimitingBufferConfig: out_swing must be > 0");
+}
+
+void LimitingBuffer::reset() {
+  input_.reset();
+  lpf_.reset();
+  noise_.reset();
+  slew_.reset();
+}
+
+double LimitingBuffer::step(double vin, double dt_ps) {
+  double x = input_.step(vin, dt_ps);
+  x = lpf_.step(x, dt_ps);
+  x += noise_.step(dt_ps);
+  const double target =
+      cfg_.out_swing_v * std::tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+  return slew_.step(target, dt_ps);
+}
+
+}  // namespace gdelay::analog

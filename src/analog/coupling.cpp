@@ -1,0 +1,67 @@
+#include "analog/coupling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace gdelay::analog {
+
+AcCoupler::AcCoupler(double f_hp_ghz) : f_hp_(f_hp_ghz) {
+  if (f_hp_ghz <= 0.0) throw std::invalid_argument("AcCoupler: f_hp must be > 0");
+}
+
+void AcCoupler::reset() {
+  x_prev_ = 0.0;
+  y_ = 0.0;
+  first_ = true;
+}
+
+double AcCoupler::step(double vin, double dt_ps) {
+  const double tau = 1000.0 / (2.0 * util::kPi * f_hp_);
+  const double a = tau / (tau + dt_ps);
+  if (first_) {
+    // Start settled: a DC input produces zero output immediately.
+    x_prev_ = vin;
+    y_ = 0.0;
+    first_ = false;
+    return 0.0;
+  }
+  y_ = a * (y_ + vin - x_prev_);
+  x_prev_ = vin;
+  return y_;
+}
+
+Attenuator::Attenuator(double loss_db)
+    : factor_(util::db_loss_to_factor(loss_db)) {
+  if (loss_db < 0.0) throw std::invalid_argument("Attenuator: loss must be >= 0");
+}
+
+NoiseSource::NoiseSource(double sigma_v, double bandwidth_ghz, util::Rng rng)
+    : sigma_(sigma_v), bw_(bandwidth_ghz), rng_(rng) {
+  if (sigma_v < 0.0) throw std::invalid_argument("NoiseSource: sigma must be >= 0");
+  if (bandwidth_ghz <= 0.0)
+    throw std::invalid_argument("NoiseSource: bandwidth must be > 0");
+}
+
+void NoiseSource::reset() { y_ = 0.0; }
+
+double NoiseSource::step(double dt_ps) {
+  if (sigma_ == 0.0) return 0.0;
+  const double tau = 1000.0 / (2.0 * util::kPi * bw_);
+  const double alpha = 1.0 - std::exp(-dt_ps / tau);
+  // Var(y) = Var(x) * alpha / (2 - alpha) for a one-pole filter driven by
+  // white noise; scale the white input so Var(y) == sigma^2.
+  const double sx = sigma_ * std::sqrt((2.0 - alpha) / alpha);
+  y_ += alpha * (rng_.gaussian(0.0, sx) - y_);
+  return y_;
+}
+
+sig::Waveform NoiseSource::waveform(double t0_ps, double dt_ps,
+                                    std::size_t n) {
+  sig::Waveform wf(t0_ps, dt_ps, n);
+  for (std::size_t i = 0; i < n; ++i) wf[i] = step(dt_ps);
+  return wf;
+}
+
+}  // namespace gdelay::analog

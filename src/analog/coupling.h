@@ -1,0 +1,68 @@
+// AC coupling, attenuation and bench noise sources.
+//
+// `NoiseSource` + `AcCoupler` together model the paper's jitter-injection
+// hookup (Section 5): an external Gaussian voltage-noise generator
+// AC-coupled onto the fine-delay control voltage Vctrl.
+#pragma once
+
+#include "analog/element.h"
+#include "analog/primitives.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+
+namespace gdelay::analog {
+
+/// First-order high-pass (series capacitor + termination).
+class AcCoupler final : public AnalogElement {
+ public:
+  /// `f_hp_ghz`: -3 dB high-pass corner (e.g. 0.01 = 10 MHz).
+  explicit AcCoupler(double f_hp_ghz);
+  void reset() override;
+  double step(double vin, double dt_ps) override;
+
+ private:
+  double f_hp_;
+  double x_prev_ = 0.0;
+  double y_ = 0.0;
+  bool first_ = true;
+};
+
+/// Flat attenuation (e.g. the series measurement resistors the paper notes
+/// in Fig. 13: "amplitude attenuation is due to series resistors added for
+/// measurement convenience").
+class Attenuator final : public AnalogElement {
+ public:
+  explicit Attenuator(double loss_db);
+  void reset() override {}
+  double step(double vin, double /*dt_ps*/) override { return vin * factor_; }
+  double factor() const { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// Band-limited Gaussian voltage noise generator (no signal input).
+/// The output standard deviation equals `sigma_v` regardless of dt or
+/// bandwidth — the internal white noise is re-scaled to compensate for
+/// the power removed by the band-limiting filter.
+class NoiseSource {
+ public:
+  NoiseSource(double sigma_v, double bandwidth_ghz, util::Rng rng);
+
+  double sigma_v() const { return sigma_; }
+
+  void reset();
+  /// Next noise sample, advancing dt picoseconds.
+  double step(double dt_ps);
+
+  /// Renders `n` samples as a waveform on the given grid.
+  sig::Waveform waveform(double t0_ps, double dt_ps, std::size_t n);
+
+ private:
+  double sigma_;
+  double bw_;
+  util::Rng rng_;
+  double y_ = 0.0;
+};
+
+}  // namespace gdelay::analog

@@ -1,0 +1,34 @@
+#include "analog/differential.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdelay::analog {
+
+DifferentialImbalance::DifferentialImbalance(
+    const DifferentialImbalanceConfig& cfg)
+    : cfg_(cfg),
+      // Keep both delays non-negative: common base + half the skew on P.
+      p_leg_(std::max(cfg.leg_skew_ps, 0.0)),
+      n_leg_(std::max(-cfg.leg_skew_ps, 0.0)) {
+  if (std::abs(cfg.gain_mismatch_frac) >= 2.0)
+    throw std::invalid_argument(
+        "DifferentialImbalance: |gain mismatch| must be < 2");
+}
+
+void DifferentialImbalance::reset() {
+  p_leg_.reset();
+  n_leg_.reset();
+}
+
+double DifferentialImbalance::step(double vin, double dt_ps) {
+  // Legs: P = +v/2, N = -v/2 (common mode drops out of the difference
+  // except through the modeled offset).
+  const double p = p_leg_.step(vin / 2.0, dt_ps);
+  const double n = n_leg_.step(-vin / 2.0, dt_ps);
+  const double gp = 1.0 + cfg_.gain_mismatch_frac / 2.0;
+  const double gn = 1.0 - cfg_.gain_mismatch_frac / 2.0;
+  return gp * p - gn * n + cfg_.offset_v;
+}
+
+}  // namespace gdelay::analog

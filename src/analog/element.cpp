@@ -1,0 +1,27 @@
+#include "analog/element.h"
+
+namespace gdelay::analog {
+
+sig::Waveform AnalogElement::process(const sig::Waveform& in) {
+  reset();
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = step(in[i], in.dt_ps());
+  return out;
+}
+
+void Cascade::add(std::unique_ptr<AnalogElement> el) {
+  stages_.push_back(std::move(el));
+}
+
+void Cascade::reset() {
+  for (auto& s : stages_) s->reset();
+}
+
+double Cascade::step(double vin, double dt_ps) {
+  double v = vin;
+  for (auto& s : stages_) v = s->step(v, dt_ps);
+  return v;
+}
+
+}  // namespace gdelay::analog

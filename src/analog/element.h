@@ -1,0 +1,60 @@
+// Base interface for behavioral analog elements.
+//
+// Every element is a causal, stateful, sample-in/sample-out process:
+// `step(vin, dt)` advances internal state by one sample period and returns
+// the output voltage. Elements compose by nesting calls (or `Cascade`),
+// and `process()` runs a whole waveform through. Per-sample stepping (as
+// opposed to whole-waveform transforms) is what lets a control port such
+// as the delay line's Vctrl vary *during* a run — the mechanism behind the
+// paper's jitter-injection mode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace gdelay::analog {
+
+class AnalogElement {
+ public:
+  virtual ~AnalogElement() = default;
+
+  /// Clears all internal state (filter memories, delay lines, ...).
+  virtual void reset() = 0;
+
+  /// Advances one sample period of `dt_ps` with input `vin`; returns the
+  /// output sample.
+  virtual double step(double vin, double dt_ps) = 0;
+
+  /// Runs a whole waveform through a freshly reset element.
+  sig::Waveform process(const sig::Waveform& in);
+};
+
+/// Serial composition of elements (owned).
+class Cascade final : public AnalogElement {
+ public:
+  Cascade() = default;
+
+  /// Appends an element; returns a reference for further configuration.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto el = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *el;
+    stages_.push_back(std::move(el));
+    return ref;
+  }
+
+  void add(std::unique_ptr<AnalogElement> el);
+
+  std::size_t size() const { return stages_.size(); }
+  AnalogElement& stage(std::size_t i) { return *stages_.at(i); }
+
+  void reset() override;
+  double step(double vin, double dt_ps) override;
+
+ private:
+  std::vector<std::unique_ptr<AnalogElement>> stages_;
+};
+
+}  // namespace gdelay::analog

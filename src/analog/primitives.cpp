@@ -1,0 +1,116 @@
+#include "analog/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace gdelay::analog {
+
+SinglePoleFilter::SinglePoleFilter(double f3db_ghz) : f3db_(f3db_ghz) {
+  if (f3db_ghz <= 0.0)
+    throw std::invalid_argument("SinglePoleFilter: f3dB must be > 0");
+}
+
+double SinglePoleFilter::tau_ps() const {
+  return 1000.0 / (2.0 * util::kPi * f3db_);
+}
+
+double SinglePoleFilter::step(double vin, double dt_ps) {
+  // Exact discretization of the first-order ODE over one step.
+  const double alpha = 1.0 - std::exp(-dt_ps / tau_ps());
+  y_ += alpha * (vin - y_);
+  return y_;
+}
+
+SlewRateLimiter::SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps,
+                                 double leak_tau_ps)
+    : slew_(slew_v_per_ps), tau_lin_(tau_lin_ps), leak_tau_(leak_tau_ps) {
+  if (slew_v_per_ps <= 0.0)
+    throw std::invalid_argument("SlewRateLimiter: slew must be > 0");
+  if (tau_lin_ps < 0.0)
+    throw std::invalid_argument("SlewRateLimiter: tau_lin must be >= 0");
+  if (leak_tau_ps < 0.0)
+    throw std::invalid_argument("SlewRateLimiter: leak_tau must be >= 0");
+}
+
+double SlewRateLimiter::step(double vin, double dt_ps) {
+  if (first_) {
+    y_ = vin;
+    first_ = false;
+    return y_;
+  }
+  const double max_step = slew_ * dt_ps;
+  const double err = vin - y_;
+  double want = err;
+  if (tau_lin_ > 0.0)
+    want *= 1.0 - std::exp(-dt_ps / tau_lin_);  // linear settling region
+  double dy = std::clamp(want, -max_step, max_step);
+  if (leak_tau_ > 0.0)
+    dy += err * (1.0 - std::exp(-dt_ps / leak_tau_));  // output conductance
+  y_ += dy;
+  return y_;
+}
+
+TanhLimiter::TanhLimiter(double gain, double vsat_v)
+    : gain_(gain), vsat_(vsat_v) {
+  if (gain <= 0.0 || vsat_v <= 0.0)
+    throw std::invalid_argument("TanhLimiter: gain and vsat must be > 0");
+}
+
+double TanhLimiter::step(double vin, double /*dt_ps*/) {
+  return vsat_ * std::tanh(gain_ * vin / vsat_);
+}
+
+NoiseAdder::NoiseAdder(double density_v_sqrtps, util::Rng rng)
+    : density_(density_v_sqrtps), rng_(rng) {
+  if (density_v_sqrtps < 0.0)
+    throw std::invalid_argument("NoiseAdder: density must be >= 0");
+}
+
+double NoiseAdder::step(double vin, double dt_ps) {
+  if (density_ == 0.0) return vin;
+  return vin + rng_.gaussian(0.0, density_ / std::sqrt(dt_ps));
+}
+
+FractionalDelay::FractionalDelay(double delay_ps) : delay_(delay_ps) {
+  if (delay_ps < 0.0)
+    throw std::invalid_argument("FractionalDelay: delay must be >= 0");
+}
+
+void FractionalDelay::reset() {
+  hist_.clear();
+  head_ = 0;
+  filled_ = 0;
+  dt_cached_ = 0.0;
+}
+
+double FractionalDelay::step(double vin, double dt_ps) {
+  if (dt_ps <= 0.0)
+    throw std::invalid_argument("FractionalDelay: dt must be > 0");
+  if (hist_.empty() || dt_ps != dt_cached_) {
+    // (Re)size for this sample rate; the line starts "charged" with the
+    // first input so there is no artificial startup step.
+    dt_cached_ = dt_ps;
+    const auto n =
+        static_cast<std::size_t>(std::ceil(delay_ / dt_ps)) + 2;
+    hist_.assign(n, vin);
+    head_ = 0;
+    filled_ = 0;
+  }
+  hist_[head_] = vin;
+  const double offset = delay_ / dt_cached_;  // samples into the past
+  const auto k = static_cast<std::size_t>(offset);
+  const double frac = offset - static_cast<double>(k);
+  const std::size_t n = hist_.size();
+  const std::size_t i0 = (head_ + n - (k % n)) % n;
+  const std::size_t i1 = (i0 + n - 1) % n;
+  const double v0 = hist_[i0];
+  const double v1 = hist_[i1];
+  head_ = (head_ + 1) % n;
+  if (filled_ < n) ++filled_;
+  return v0 + (v1 - v0) * frac;
+}
+
+}  // namespace gdelay::analog

@@ -1,0 +1,129 @@
+// Primitive behavioral elements: filters, limiters, gain, noise, delay.
+//
+// These are the building blocks the buffer models (buffer.h) are composed
+// from. Each one models a single first-order physical mechanism:
+//
+//   SinglePoleFilter  finite bandwidth of an amplifier stage
+//   SlewRateLimiter   finite output-stage slew rate — THE mechanism behind
+//                     the paper's amplitude-dependent delay (Fig. 4/5)
+//   TanhLimiter       differential-pair soft saturation
+//   GainStage         ideal linear gain
+//   NoiseAdder        white (optionally band-limited) voltage noise with a
+//                     dt-independent spectral density
+//   FractionalDelay   ideal transport delay (transmission-line core)
+#pragma once
+
+#include <vector>
+
+#include "analog/element.h"
+#include "util/rng.h"
+
+namespace gdelay::analog {
+
+/// First-order low-pass, y' = 2*pi*f3dB (x - y).
+class SinglePoleFilter final : public AnalogElement {
+ public:
+  explicit SinglePoleFilter(double f3db_ghz);
+  void reset() override { y_ = 0.0; }
+  double step(double vin, double dt_ps) override;
+  double f3db_ghz() const { return f3db_; }
+  /// Time constant tau = 1/(2*pi*f3dB) in ps.
+  double tau_ps() const;
+
+ private:
+  double f3db_;
+  double y_ = 0.0;
+};
+
+/// Output may move at most `slew_v_per_ps` volts per picosecond. With a
+/// nonzero `tau_lin_ps` the element behaves like a real output stage:
+/// linear first-order settling (time constant tau_lin) for small errors,
+/// slew-limited only once the error exceeds S * tau_lin. The linear
+/// region provides the restoring force that keeps a heavily compressed
+/// stage centred (without it, duty-cycle noise makes the output random-
+/// walk into a rail and drop transitions).
+/// `leak_tau_ps` adds the stage's finite output conductance: a linear
+/// pull toward the target that acts even while slew-limited. Without it a
+/// stage that never completes its excursion (deep compression at high
+/// rates) integrates noise into an unbounded duty-cycle random walk.
+class SlewRateLimiter final : public AnalogElement {
+ public:
+  explicit SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps = 0.0,
+                           double leak_tau_ps = 0.0);
+  void reset() override { y_ = 0.0; first_ = true; }
+  double step(double vin, double dt_ps) override;
+  double slew() const { return slew_; }
+  double tau_lin_ps() const { return tau_lin_; }
+  double leak_tau_ps() const { return leak_tau_; }
+
+ private:
+  double slew_;
+  double tau_lin_;
+  double leak_tau_;
+  double y_ = 0.0;
+  bool first_ = true;  // first sample snaps to the input (no startup ramp)
+};
+
+/// y = vsat * tanh(gain * x / vsat): linear gain for small signals,
+/// saturating at +/- vsat.
+class TanhLimiter final : public AnalogElement {
+ public:
+  TanhLimiter(double gain, double vsat_v);
+  void reset() override {}
+  double step(double vin, double dt_ps) override;
+  double gain() const { return gain_; }
+  double vsat() const { return vsat_; }
+
+ private:
+  double gain_;
+  double vsat_;
+};
+
+/// y = g * x.
+class GainStage final : public AnalogElement {
+ public:
+  explicit GainStage(double gain) : gain_(gain) {}
+  void reset() override {}
+  double step(double vin, double /*dt_ps*/) override { return gain_ * vin; }
+  double gain() const { return gain_; }
+  void set_gain(double g) { gain_ = g; }
+
+ private:
+  double gain_;
+};
+
+/// Adds Gaussian voltage noise of constant one-sided spectral density.
+/// Per-sample sigma is density / sqrt(dt) so the band-integrated power —
+/// and hence the jitter it induces downstream — does not depend on the
+/// simulation step size.
+class NoiseAdder final : public AnalogElement {
+ public:
+  /// density: V*sqrt(ps), e.g. 0.02 => sigma = 40 mV at dt = 0.25 ps.
+  NoiseAdder(double density_v_sqrtps, util::Rng rng);
+  void reset() override {}
+  double step(double vin, double dt_ps) override;
+  double density() const { return density_; }
+
+ private:
+  double density_;
+  util::Rng rng_;
+};
+
+/// Ideal transport delay with sub-sample (linear interpolation) precision.
+/// Models the lossless core of a controlled-length PCB trace.
+class FractionalDelay final : public AnalogElement {
+ public:
+  explicit FractionalDelay(double delay_ps);
+  void reset() override;
+  double step(double vin, double dt_ps) override;
+  double delay_ps() const { return delay_; }
+
+ private:
+  double delay_;
+  std::vector<double> hist_;  // ring buffer
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  double dt_cached_ = 0.0;
+};
+
+}  // namespace gdelay::analog

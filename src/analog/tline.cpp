@@ -1,0 +1,30 @@
+#include "analog/tline.h"
+
+#include "util/units.h"
+
+namespace gdelay::analog {
+
+TransmissionLine::TransmissionLine(const TransmissionLineConfig& cfg)
+    : cfg_(cfg),
+      delay_(cfg.delay_ps),
+      loss_factor_(util::db_loss_to_factor(cfg.loss_db)),
+      has_pole_(cfg.dispersion_f3db_ghz > 0.0),
+      pole_(has_pole_ ? cfg.dispersion_f3db_ghz : 1.0) {}
+
+void TransmissionLine::reset() {
+  delay_.reset();
+  pole_.reset();
+}
+
+double TransmissionLine::step(double vin, double dt_ps) {
+  double v = delay_.step(vin, dt_ps);
+  v *= loss_factor_;
+  if (has_pole_) v = pole_.step(v, dt_ps);
+  return v;
+}
+
+double trace_loss_db(double delay_ps, double db_per_100ps) {
+  return delay_ps / 100.0 * db_per_100ps;
+}
+
+}  // namespace gdelay::analog

@@ -1,0 +1,34 @@
+#include "ate/ate_channel.h"
+
+#include <cmath>
+
+namespace gdelay::ate {
+
+AteChannel::AteChannel(const AteChannelConfig& cfg, util::Rng rng)
+    : cfg_(cfg), rng_(rng) {}
+
+int AteChannel::steps_for(double delay_ps) const {
+  return static_cast<int>(std::lround(delay_ps / cfg_.programmable_step_ps));
+}
+
+double AteChannel::launch_offset_ps() const {
+  return cfg_.static_skew_ps +
+         static_cast<double>(steps_) * cfg_.programmable_step_ps;
+}
+
+sig::SynthResult AteChannel::drive(const sig::BitPattern& bits) {
+  sig::SynthConfig sc = cfg_.synth;
+  sc.rate_gbps = cfg_.rate_gbps;
+  sc.rj_sigma_ps = cfg_.rj_sigma_ps;
+  sig::SynthResult res = sig::synthesize_nrz(bits, sc, &rng_);
+
+  const double off = launch_offset_ps();
+  if (off != 0.0) {
+    res.wf = res.wf.shifted(off);
+    for (auto& t : res.actual_edges_ps) t += off;
+    // ideal_edges_ps intentionally stays on the unskewed bus grid.
+  }
+  return res;
+}
+
+}  // namespace gdelay::ate

@@ -1,0 +1,49 @@
+#include "ate/bus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdelay::ate {
+
+AteBus::AteBus(const AteBusConfig& cfg, util::Rng rng) : cfg_(cfg) {
+  if (cfg.n_channels < 1)
+    throw std::invalid_argument("AteBus: need >= 1 channel");
+  channels_.reserve(static_cast<std::size_t>(cfg.n_channels));
+  for (int i = 0; i < cfg.n_channels; ++i) {
+    AteChannelConfig cc;
+    cc.rate_gbps = cfg.rate_gbps;
+    cc.static_skew_ps =
+        rng.uniform(-cfg.skew_span_ps / 2.0, cfg.skew_span_ps / 2.0);
+    cc.programmable_step_ps = cfg.programmable_step_ps;
+    cc.rj_sigma_ps = cfg.rj_sigma_ps;
+    cc.synth = cfg.synth;
+    channels_.emplace_back(cc, rng.fork(static_cast<std::uint64_t>(i)));
+  }
+}
+
+double AteBus::launch_skew_span_ps() const {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& ch : channels_) {
+    lo = std::min(lo, ch.launch_offset_ps());
+    hi = std::max(hi, ch.launch_offset_ps());
+  }
+  return hi - lo;
+}
+
+std::vector<sig::SynthResult> AteBus::drive(
+    const std::vector<sig::BitPattern>& patterns) {
+  if (patterns.size() != channels_.size())
+    throw std::invalid_argument("AteBus::drive: pattern count mismatch");
+  std::vector<sig::SynthResult> out;
+  out.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    out.push_back(channels_[i].drive(patterns[i]));
+  return out;
+}
+
+void AteBus::apply_native_deskew() {
+  for (auto& ch : channels_)
+    ch.program_delay_steps(-ch.steps_for(ch.static_skew_ps()));
+}
+
+}  // namespace gdelay::ate

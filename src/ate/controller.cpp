@@ -1,0 +1,81 @@
+#include "ate/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "measure/delay_meter.h"
+
+namespace gdelay::ate {
+
+double span(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return *hi - *lo;
+}
+
+DeskewController::DeskewController(
+    AteBus& bus, std::vector<core::VariableDelayChannel>& delays)
+    : DeskewController(bus, delays, Options{}) {}
+
+DeskewController::DeskewController(
+    AteBus& bus, std::vector<core::VariableDelayChannel>& delays,
+    Options opt)
+    : bus_(bus), delays_(delays), opt_(std::move(opt)) {
+  if (static_cast<int>(delays_.size()) != bus_.n_channels())
+    throw std::invalid_argument(
+        "DeskewController: one delay channel per bus channel required");
+  // Ideal reference: the bus's nominal electrical settings, no skew, no
+  // jitter. This is the launch grid the ATE aims at.
+  sig::SynthConfig sc = bus_.config().synth;
+  sc.rate_gbps = bus_.config().rate_gbps;
+  sc.rj_sigma_ps = 0.0;
+  reference_ = sig::synthesize_nrz(opt_.training, sc).wf;
+}
+
+std::vector<double> DeskewController::measure_arrivals() {
+  std::vector<double> arrivals;
+  arrivals.reserve(delays_.size());
+  meas::DelayMeterOptions mo;
+  mo.settle_ps = opt_.calibration.settle_ps;
+  for (int i = 0; i < bus_.n_channels(); ++i) {
+    const auto launched = bus_.channel(i).drive(opt_.training);
+    const auto received =
+        delays_[static_cast<std::size_t>(i)].process(launched.wf);
+    arrivals.push_back(
+        meas::measure_delay(reference_, received, mo).mean_ps);
+  }
+  return arrivals;
+}
+
+DeskewReport DeskewController::run() {
+  DeskewReport rep;
+
+  // 1. Minimum-setting measurement pass.
+  for (auto& d : delays_) {
+    d.select_tap(0);
+    d.set_vctrl(0.0);
+  }
+  rep.arrival_before_ps = measure_arrivals();
+  rep.span_before_ps = span(rep.arrival_before_ps);
+
+  // 2. Per-channel calibration against the clean reference.
+  const core::DelayCalibrator calibrator(opt_.calibration);
+  rep.calibrations.reserve(delays_.size());
+  for (auto& d : delays_)
+    rep.calibrations.push_back(calibrator.calibrate(d, reference_));
+
+  // 3. Plan.
+  rep.plan = core::DeskewEngine::plan(rep.arrival_before_ps,
+                                      rep.calibrations);
+
+  // 4. Program and verify.
+  for (std::size_t i = 0; i < delays_.size(); ++i) {
+    delays_[i].select_tap(rep.plan.settings[i].tap);
+    delays_[i].set_vctrl(rep.plan.settings[i].vctrl_v);
+  }
+  rep.arrival_after_ps = measure_arrivals();
+  rep.span_after_ps = span(rep.arrival_after_ps);
+  return rep;
+}
+
+}  // namespace gdelay::ate

@@ -1,0 +1,28 @@
+// Calibration persistence.
+//
+// Production ATE flows calibrate once (per board, per lot, per thermal
+// state) and store the tables; test programs reload them at load-board
+// time. This is a small, dependency-free text format: one `key value`
+// pair per line, curve points as `point <vctrl> <delay>` rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/calibration.h"
+
+namespace gdelay::core {
+
+/// Serializes a calibration (round-trips exactly through parse).
+std::string calibration_to_text(const ChannelCalibration& cal);
+
+/// Parses the text format. Throws std::runtime_error on malformed input
+/// (unknown keys, missing fields, non-monotonic x, bad counts).
+ChannelCalibration calibration_from_text(const std::string& text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_calibration(const std::string& path,
+                      const ChannelCalibration& cal);
+ChannelCalibration load_calibration(const std::string& path);
+
+}  // namespace gdelay::core

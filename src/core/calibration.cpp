@@ -1,0 +1,226 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "measure/delay_meter.h"
+
+namespace gdelay::core {
+namespace {
+
+meas::DelayMeterOptions meter_options(double settle_ps) {
+  meas::DelayMeterOptions o;
+  o.settle_ps = settle_ps;
+  return o;
+}
+
+}  // namespace
+
+double ChannelCalibration::resolution_ps() const {
+  // The delay step produced by one DAC LSB is slope * LSB; take the worst
+  // (largest) slope over the measured curve segments.
+  const auto& xs = fine_curve.xs();
+  const auto& ys = fine_curve.ys();
+  double worst = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double slope = std::abs((ys[i] - ys[i - 1]) / (xs[i] - xs[i - 1]));
+    worst = std::max(worst, slope);
+  }
+  return worst * dac.lsb_v();
+}
+
+double ChannelCalibration::predicted_delay_ps(int tap, double vctrl) const {
+  if (tap < 0 || tap >= 4)
+    throw std::invalid_argument("ChannelCalibration: tap out of range");
+  return tap_offset_ps[static_cast<std::size_t>(tap)] + fine_curve(vctrl);
+}
+
+double ChannelCalibration::predicted_latency_ps(int tap, double vctrl) const {
+  return base_latency_ps + predicted_delay_ps(tap, vctrl);
+}
+
+DelaySetting ChannelCalibration::plan(double relative_delay_ps) const {
+  const double fine_lo = fine_curve.y_min();
+  const double fine_hi = fine_curve.y_max();
+  const double target =
+      std::clamp(relative_delay_ps, 0.0, total_range_ps());
+
+  // Choose the tap whose required fine contribution sits closest to the
+  // middle of the fine range (maximum headroom for later retrim).
+  int best_tap = 0;
+  double best_badness = std::numeric_limits<double>::infinity();
+  for (int tap = 0; tap < 4; ++tap) {
+    const double need =
+        target - tap_offset_ps[static_cast<std::size_t>(tap)];
+    if (need < fine_lo - 1e-9 || need > fine_hi + 1e-9) continue;
+    const double badness = std::abs(need - (fine_lo + fine_hi) / 2.0);
+    if (badness < best_badness) {
+      best_badness = badness;
+      best_tap = tap;
+    }
+  }
+  if (!std::isfinite(best_badness)) {
+    // No tap covers the target exactly (possible at the extreme ends with
+    // tap errors); fall back to the tap minimizing the clamped error.
+    double best_err = std::numeric_limits<double>::infinity();
+    for (int tap = 0; tap < 4; ++tap) {
+      const double need =
+          target - tap_offset_ps[static_cast<std::size_t>(tap)];
+      const double clamped = std::clamp(need, fine_lo, fine_hi);
+      const double err = std::abs(need - clamped);
+      if (err < best_err) {
+        best_err = err;
+        best_tap = tap;
+      }
+    }
+  }
+
+  DelaySetting s;
+  s.tap = best_tap;
+  const double need =
+      std::clamp(target - tap_offset_ps[static_cast<std::size_t>(best_tap)],
+                 fine_lo, fine_hi);
+  const double vctrl_ideal = fine_curve.invert(need);
+  s.dac_code = dac.code_for(vctrl_ideal);
+  s.vctrl_v = dac.voltage(s.dac_code);
+  s.predicted_delay_ps = predicted_delay_ps(best_tap, s.vctrl_v);
+  return s;
+}
+
+util::Curve DelayCalibrator::measure_fine_curve(
+    FineDelayLine& line, const sig::Waveform& stimulus) const {
+  if (opt_.n_vctrl_points < 3)
+    throw std::invalid_argument("DelayCalibrator: need >= 3 sweep points");
+  const double saved = line.vctrl();
+  const double vmax = line.vctrl_max();
+
+  // Baseline at Vctrl = 0.
+  line.set_vctrl(0.0);
+  const auto base = line.process(stimulus);
+  const double d0 =
+      meas::measure_delay(stimulus, base, meter_options(opt_.settle_ps))
+          .mean_ps;
+
+  std::vector<double> xs, ys;
+  xs.reserve(static_cast<std::size_t>(opt_.n_vctrl_points));
+  ys.reserve(static_cast<std::size_t>(opt_.n_vctrl_points));
+  for (int i = 0; i < opt_.n_vctrl_points; ++i) {
+    const double v = vmax * static_cast<double>(i) /
+                     static_cast<double>(opt_.n_vctrl_points - 1);
+    line.set_vctrl(v);
+    const auto out = line.process(stimulus);
+    const double d =
+        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
+            .mean_ps;
+    xs.push_back(v);
+    ys.push_back(d - d0);
+  }
+  line.set_vctrl(saved);
+  // The physical characteristic is monotone; clean residual measurement
+  // noise off the flat ends before the curve is used for inversion.
+  return util::Curve(std::move(xs), std::move(ys)).monotonicized();
+}
+
+util::Curve DelayCalibrator::measure_fine_curve(
+    VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
+  if (opt_.n_vctrl_points < 3)
+    throw std::invalid_argument("DelayCalibrator: need >= 3 sweep points");
+  const double saved = ch.vctrl();
+  const double vmax = ch.vctrl_max();
+
+  ch.set_vctrl(0.0);
+  const auto base = ch.process(stimulus);
+  const double d0 =
+      meas::measure_delay(stimulus, base, meter_options(opt_.settle_ps))
+          .mean_ps;
+
+  std::vector<double> xs, ys;
+  for (int i = 0; i < opt_.n_vctrl_points; ++i) {
+    const double v = vmax * static_cast<double>(i) /
+                     static_cast<double>(opt_.n_vctrl_points - 1);
+    ch.set_vctrl(v);
+    const auto out = ch.process(stimulus);
+    const double d =
+        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
+            .mean_ps;
+    xs.push_back(v);
+    ys.push_back(d - d0);
+  }
+  ch.set_vctrl(saved);
+  return util::Curve(std::move(xs), std::move(ys)).monotonicized();
+}
+
+ChannelCalibration DelayCalibrator::calibrate(
+    VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
+  const int saved_tap = ch.selected_tap();
+  const double saved_vctrl = ch.vctrl();
+
+  ChannelCalibration cal;
+  cal.dac = opt_.dac;
+
+  // Fine sweep on tap 0.
+  ch.select_tap(0);
+  cal.fine_curve = measure_fine_curve(ch, stimulus);
+
+  // Absolute latency per tap at Vctrl = 0.
+  ch.set_vctrl(0.0);
+  std::array<double, 4> latency{};
+  for (int tap = 0; tap < 4; ++tap) {
+    ch.select_tap(tap);
+    const auto out = ch.process(stimulus);
+    latency[static_cast<std::size_t>(tap)] =
+        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
+            .mean_ps;
+  }
+  cal.base_latency_ps = latency[0];
+  for (int tap = 0; tap < 4; ++tap)
+    cal.tap_offset_ps[static_cast<std::size_t>(tap)] =
+        latency[static_cast<std::size_t>(tap)] - latency[0];
+
+  ch.select_tap(saved_tap);
+  ch.set_vctrl(saved_vctrl);
+  return cal;
+}
+
+double DelayCalibrator::measure_fine_range(
+    FineDelayLine& line, const sig::Waveform& stimulus) const {
+  const double saved = line.vctrl();
+  line.set_vctrl(0.0);
+  const auto lo = line.process(stimulus);
+  line.set_vctrl(line.vctrl_max());
+  const auto hi = line.process(stimulus);
+  line.set_vctrl(saved);
+  const auto opts = meter_options(opt_.settle_ps);
+  return meas::measure_delay(stimulus, hi, opts).mean_ps -
+         meas::measure_delay(stimulus, lo, opts).mean_ps;
+}
+
+double DelayCalibrator::measure_fine_range_periodic(
+    FineDelayLine& line, const sig::Waveform& stimulus, double ui_ps,
+    int n_steps) const {
+  if (n_steps < 1)
+    throw std::invalid_argument("measure_fine_range_periodic: n_steps >= 1");
+  const double saved = line.vctrl();
+  const auto opts = meter_options(opt_.settle_ps);
+
+  line.set_vctrl(0.0);
+  auto prev = line.process(stimulus);
+  double prev_phase = meas::measure_phase_delay(stimulus, prev, ui_ps, opts);
+  double total = 0.0;
+  for (int i = 1; i <= n_steps; ++i) {
+    const double v = line.vctrl_max() * static_cast<double>(i) /
+                     static_cast<double>(n_steps);
+    line.set_vctrl(v);
+    auto cur = line.process(stimulus);
+    const double phase =
+        meas::measure_phase_delay(stimulus, cur, ui_ps, opts);
+    total += meas::wrap_delay(phase - prev_phase, ui_ps);
+    prev_phase = phase;
+  }
+  line.set_vctrl(saved);
+  return total;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,104 @@
+// Delay calibration: turns the physical channel into a programmable
+// "give me X picoseconds" instrument.
+//
+// The calibrator plays a reference stimulus through the channel while
+// sweeping Vctrl (reproducing the Fig. 7 measurement) and while stepping
+// the coarse taps (Fig. 9), then builds an invertible model:
+//
+//   delay(tap, vctrl) = base_latency + tap_offset[tap] + fine_curve(vctrl)
+//
+// `ChannelCalibration::plan()` solves that model for a requested delay,
+// picks the tap, inverts the fine curve and quantizes Vctrl through the
+// 12-bit DAC — the paper's programming flow.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/dac.h"
+#include "core/fine_delay.h"
+#include "signal/waveform.h"
+#include "util/curve.h"
+
+namespace gdelay::core {
+
+struct DelaySetting {
+  int tap = 0;
+  std::uint32_t dac_code = 0;
+  double vctrl_v = 0.0;             ///< DAC output actually applied.
+  double predicted_delay_ps = 0.0;  ///< Relative to the channel minimum.
+};
+
+struct ChannelCalibration {
+  /// Fine delay relative to Vctrl = 0, measured over the control range.
+  util::Curve fine_curve;
+  /// Extra latency of each tap relative to tap 0 (at fixed Vctrl).
+  std::array<double, 4> tap_offset_ps{};
+  /// Absolute latency at tap 0, Vctrl = 0 (includes all 7 stages).
+  double base_latency_ps = 0.0;
+  Dac dac{12, 1.5};
+
+  double fine_range_ps() const { return fine_curve.y_span(); }
+  double total_range_ps() const {
+    return tap_offset_ps.back() + fine_range_ps();
+  }
+  /// Worst-case delay step between adjacent DAC codes over the curve.
+  double resolution_ps() const;
+
+  /// Delay (relative to the channel minimum) predicted for a setting.
+  double predicted_delay_ps(int tap, double vctrl) const;
+  /// Absolute latency predicted for a setting.
+  double predicted_latency_ps(int tap, double vctrl) const;
+
+  /// Setting realizing `relative_delay_ps` in [0, total_range]; clamps
+  /// outside. Picks the coarse tap that centers the fine adjustment.
+  DelaySetting plan(double relative_delay_ps) const;
+};
+
+class DelayCalibrator {
+ public:
+  struct Options {
+    int n_vctrl_points = 17;  ///< Sweep points across [0, vctrl_max].
+    /// Edges before this are ignored. Must exceed the stages' bias-
+    /// droop settling (a few droop_tau) or the transient leaks into
+    /// the delay statistics.
+    double settle_ps = 3000.0;
+    Dac dac{12, 1.5};
+  };
+
+  DelayCalibrator() = default;
+  explicit DelayCalibrator(const Options& opt) : opt_(opt) {}
+
+  /// Fig. 7 measurement: fine delay vs Vctrl (relative to Vctrl = 0).
+  util::Curve measure_fine_curve(FineDelayLine& line,
+                                 const sig::Waveform& stimulus) const;
+
+  /// Same sweep on a complete channel at its currently selected tap.
+  util::Curve measure_fine_curve(VariableDelayChannel& ch,
+                                 const sig::Waveform& stimulus) const;
+
+  /// Full channel calibration: fine sweep on tap 0 + one run per tap.
+  /// The channel's tap/Vctrl programming is restored afterwards.
+  ChannelCalibration calibrate(VariableDelayChannel& ch,
+                               const sig::Waveform& stimulus) const;
+
+  /// Convenience for the range studies (Figs. 12, 14, 15): delay swing
+  /// between Vctrl = 0 and Vctrl = max for the given stimulus.
+  double measure_fine_range(FineDelayLine& line,
+                            const sig::Waveform& stimulus) const;
+
+  /// Range measurement for PERIODIC stimuli (the RZ-clock sweeps of
+  /// Figs. 14/15), where edge-order pairing is ambiguous. Sweeps Vctrl in
+  /// `n_steps` increments and accumulates phase deltas wrapped into half a
+  /// UI — exact as long as each increment moves the delay by < ui/2.
+  double measure_fine_range_periodic(FineDelayLine& line,
+                                     const sig::Waveform& stimulus,
+                                     double ui_ps, int n_steps = 8) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace gdelay::core

@@ -1,0 +1,26 @@
+#include "core/channel.h"
+
+namespace gdelay::core {
+
+VariableDelayChannel::VariableDelayChannel(const ChannelConfig& cfg,
+                                           util::Rng rng)
+    : cfg_(cfg), coarse_(cfg.coarse, rng.fork(10)), fine_(cfg.fine, rng.fork(20)) {}
+
+void VariableDelayChannel::reset() {
+  coarse_.reset();
+  fine_.reset();
+}
+
+double VariableDelayChannel::step(double vin, double dt_ps) {
+  return fine_.step(coarse_.step(vin, dt_ps), dt_ps);
+}
+
+sig::Waveform VariableDelayChannel::process(const sig::Waveform& in) {
+  reset();
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = step(in[i], in.dt_ps());
+  return out;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,48 @@
+// The conventional baseline from the paper's introduction (Fig. 1):
+// adjusting a constant-frequency CLOCK's phase instead of delaying the
+// wide-bandwidth DATA. "Many VCO and PLL or DLL techniques are widely
+// used for this purpose" — easy for a narrow-band clock, and the point
+// of comparison for why the paper's data-path delay is needed at all.
+//
+// ClockPhaseShifter models an ideal DLL-style phase interpolator: a
+// programmable transport delay wrapped to the clock period, with a small
+// amount of interpolator phase noise. It works beautifully for clocks —
+// and bench_baseline_clock shows exactly where it stops helping: a
+// parallel-synchronous bus has ONE clock but N skewed data lanes, so no
+// clock phase can align the lanes to each other.
+#pragma once
+
+#include "analog/primitives.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+
+namespace gdelay::core {
+
+struct ClockPhaseShifterConfig {
+  double period_ps = 156.25;     ///< Clock period the DLL locks to.
+  int phase_steps = 128;         ///< Interpolator resolution (per period).
+  double phase_noise_rms_ps = 0.4;  ///< Interpolator jitter.
+};
+
+class ClockPhaseShifter {
+ public:
+  ClockPhaseShifter(const ClockPhaseShifterConfig& cfg, util::Rng rng);
+
+  const ClockPhaseShifterConfig& config() const { return cfg_; }
+
+  /// Programs the phase; wrapped into [0, period). Quantized to the
+  /// interpolator step.
+  void set_phase_ps(double phase_ps);
+  double phase_ps() const { return phase_; }
+  double step_ps() const;
+
+  /// Shifts a clock waveform by the programmed phase (plus phase noise).
+  sig::Waveform process(const sig::Waveform& clock);
+
+ private:
+  ClockPhaseShifterConfig cfg_;
+  double phase_ = 0.0;
+  util::Rng rng_;
+};
+
+}  // namespace gdelay::core

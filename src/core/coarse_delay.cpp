@@ -1,0 +1,61 @@
+#include "core/coarse_delay.h"
+
+#include <stdexcept>
+
+namespace gdelay::core {
+
+CoarseDelayBlock::CoarseDelayBlock(const CoarseDelayConfig& cfg,
+                                   util::Rng rng)
+    : cfg_(cfg), fanout_(cfg.fanout, rng.fork(1)), mux_(cfg.mux, rng.fork(2)) {
+  for (int i = 0; i < kTaps; ++i) {
+    const double len = cfg.tap_delay_ps[static_cast<std::size_t>(i)] +
+                       cfg.tap_error_ps[static_cast<std::size_t>(i)];
+    if (len < 0.0)
+      throw std::invalid_argument("CoarseDelayBlock: negative tap length");
+    analog::TransmissionLineConfig tl;
+    tl.delay_ps = len;
+    tl.loss_db = analog::trace_loss_db(len, cfg.loss_db_per_100ps);
+    tl.dispersion_f3db_ghz = cfg.dispersion_f3db_ghz;
+    taps_[static_cast<std::size_t>(i)] =
+        std::make_unique<analog::TransmissionLine>(tl);
+  }
+}
+
+void CoarseDelayBlock::select(int tap) {
+  if (tap < 0 || tap >= kTaps)
+    throw std::invalid_argument("CoarseDelayBlock: tap out of range");
+  selected_ = tap;
+}
+
+double CoarseDelayBlock::tap_delay_ps(int tap) const {
+  if (tap < 0 || tap >= kTaps)
+    throw std::invalid_argument("CoarseDelayBlock: tap out of range");
+  return cfg_.tap_delay_ps[static_cast<std::size_t>(tap)] +
+         cfg_.tap_error_ps[static_cast<std::size_t>(tap)];
+}
+
+void CoarseDelayBlock::reset() {
+  fanout_.reset();
+  for (auto& t : taps_) t->reset();
+  mux_.reset();
+}
+
+double CoarseDelayBlock::step(double vin, double dt_ps) {
+  const double fan = fanout_.step(vin, dt_ps);
+  double sel = 0.0;
+  for (int i = 0; i < kTaps; ++i) {
+    const double v = taps_[static_cast<std::size_t>(i)]->step(fan, dt_ps);
+    if (i == selected_) sel = v;
+  }
+  return mux_.step(sel, dt_ps);
+}
+
+sig::Waveform CoarseDelayBlock::process(const sig::Waveform& in) {
+  reset();
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = step(in[i], in.dt_ps());
+  return out;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,70 @@
+// The coarse delay section of Fig. 8: a 1:4 fanout buffer drives four
+// controlled-length differential transmission lines (nominally 0, 33, 66,
+// 99 ps), and a 4:1 multiplexer selects one of them under two digital
+// select lines. Only two levels of active logic touch the signal, which is
+// why the paper chose this over cascading a second fine-delay line (noise
+// and jitter accumulate per active stage).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "analog/buffer.h"
+#include "analog/tline.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+
+namespace gdelay::core {
+
+struct CoarseDelayConfig {
+  /// Nominal electrical lengths of the four taps.
+  std::array<double, 4> tap_delay_ps{0.0, 33.0, 66.0, 99.0};
+  /// Per-tap manufacturing error added to the nominal length. The paper's
+  /// prototype measured 0/33/70/95 ps (Fig. 9) — a few ps of deviation.
+  std::array<double, 4> tap_error_ps{0.0, 0.0, 0.0, 0.0};
+  /// Trace loss per 100 ps of electrical length.
+  double loss_db_per_100ps = 1.2;
+  /// Skin-effect/dielectric roll-off of the traces (0 disables).
+  double dispersion_f3db_ghz = 28.0;
+  analog::LimitingBufferConfig fanout{};
+  analog::LimitingBufferConfig mux{};
+
+  /// Tap errors reproducing the as-built prototype of Fig. 9
+  /// (measured 0 / 33 / 70 / 95 ps).
+  static CoarseDelayConfig prototype() {
+    CoarseDelayConfig c;
+    c.tap_error_ps = {0.0, 0.0, 4.0, -4.0};
+    return c;
+  }
+};
+
+class CoarseDelayBlock {
+ public:
+  static constexpr int kTaps = 4;
+
+  CoarseDelayBlock(const CoarseDelayConfig& cfg, util::Rng rng);
+
+  const CoarseDelayConfig& config() const { return cfg_; }
+
+  /// Programs the two select lines (tap in [0, 3]).
+  void select(int tap);
+  int selected() const { return selected_; }
+
+  /// Nominal + error length of a tap.
+  double tap_delay_ps(int tap) const;
+
+  void reset();
+  /// All four taps are simulated every sample so the selection may change
+  /// mid-run, exactly like flipping the real select lines.
+  double step(double vin, double dt_ps);
+  sig::Waveform process(const sig::Waveform& in);
+
+ private:
+  CoarseDelayConfig cfg_;
+  int selected_ = 0;
+  analog::LimitingBuffer fanout_;
+  std::array<std::unique_ptr<analog::TransmissionLine>, 4> taps_;
+  analog::LimitingBuffer mux_;
+};
+
+}  // namespace gdelay::core

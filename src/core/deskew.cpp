@@ -1,0 +1,47 @@
+#include "core/deskew.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdelay::core {
+
+DeskewPlan DeskewEngine::plan(const std::vector<double>& arrival_ps,
+                              const std::vector<ChannelCalibration>& cals) {
+  if (arrival_ps.empty())
+    throw std::invalid_argument("DeskewEngine: no channels");
+  if (arrival_ps.size() != cals.size())
+    throw std::invalid_argument("DeskewEngine: arrival/calibration mismatch");
+
+  // Channel i can realize any arrival in
+  //   [arrival_i + fine_min, arrival_i + total_range_i]
+  // (fine_min is ~0 by construction). The feasible common window is the
+  // intersection; aim for its middle, but never earlier than the latest
+  // minimum arrival.
+  double window_lo = -1e300, window_hi = 1e300;
+  for (std::size_t i = 0; i < arrival_ps.size(); ++i) {
+    window_lo = std::max(window_lo, arrival_ps[i]);
+    window_hi = std::min(window_hi, arrival_ps[i] + cals[i].total_range_ps());
+  }
+
+  DeskewPlan plan;
+  plan.feasible = window_hi >= window_lo;
+  plan.target_arrival_ps =
+      plan.feasible ? 0.5 * (window_lo + window_hi) : window_lo;
+
+  plan.settings.reserve(arrival_ps.size());
+  plan.residual_ps.reserve(arrival_ps.size());
+  double rmin = 1e300, rmax = -1e300;
+  for (std::size_t i = 0; i < arrival_ps.size(); ++i) {
+    const double need = plan.target_arrival_ps - arrival_ps[i];
+    const DelaySetting s = cals[i].plan(need);
+    const double residual = s.predicted_delay_ps - need;
+    plan.settings.push_back(s);
+    plan.residual_ps.push_back(residual);
+    rmin = std::min(rmin, residual);
+    rmax = std::max(rmax, residual);
+  }
+  plan.residual_span_ps = rmax - rmin;
+  return plan;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,37 @@
+// Multi-channel deskew planning (the Fig. 2 application).
+//
+// Given the measured arrival time of each bus channel at its minimum
+// delay setting and each channel's calibration, pick one common target
+// arrival time and a per-channel (tap, DAC code) that aligns everybody
+// to it. This is the computation the ATE controller runs after the
+// skew-measurement pass; ate::DeskewController drives it end-to-end.
+#pragma once
+
+#include <vector>
+
+#include "core/calibration.h"
+
+namespace gdelay::core {
+
+struct DeskewPlan {
+  /// Arrival time every channel is steered to.
+  double target_arrival_ps = 0.0;
+  std::vector<DelaySetting> settings;      ///< One per channel.
+  std::vector<double> residual_ps;         ///< Predicted arrival - target.
+  /// Predicted worst channel-to-channel skew after programming
+  /// (max residual - min residual).
+  double residual_span_ps = 0.0;
+  bool feasible = true;  ///< False if some channel ran out of range.
+};
+
+class DeskewEngine {
+ public:
+  /// `arrival_ps[i]`: measured arrival of channel i with tap 0 and
+  /// Vctrl = 0 (i.e. channel skew + minimum latency). Sizes must match.
+  /// The target is placed mid-way through the feasible window so every
+  /// channel keeps headroom in both directions.
+  static DeskewPlan plan(const std::vector<double>& arrival_ps,
+                         const std::vector<ChannelCalibration>& cals);
+};
+
+}  // namespace gdelay::core

@@ -1,0 +1,28 @@
+#include "core/drift.h"
+
+namespace gdelay::core {
+
+ChannelConfig ThermalDrift::apply(const ChannelConfig& nominal,
+                                  double delta_c) const {
+  ChannelConfig c = nominal;
+  const double slew_k = 1.0 + slew_tc_frac * delta_c;
+  const double amp_k = 1.0 + amp_tc_frac * delta_c;
+  const double bw_k = 1.0 + bw_tc_frac * delta_c;
+
+  c.fine.stage.slew_v_per_ps *= slew_k;
+  c.fine.stage.amp_min_v *= amp_k;
+  c.fine.stage.amp_max_v *= amp_k;
+  c.fine.stage.f3db_ghz *= bw_k;
+  c.fine.output_stage.slew_v_per_ps *= slew_k;
+  c.fine.output_stage.f3db_ghz *= bw_k;
+  c.coarse.fanout.slew_v_per_ps *= slew_k;
+  c.coarse.mux.slew_v_per_ps *= slew_k;
+  // Trace electrical length stretches with temperature; longer taps
+  // stretch more (error scales with nominal length).
+  for (std::size_t i = 0; i < c.coarse.tap_error_ps.size(); ++i)
+    c.coarse.tap_error_ps[i] +=
+        tap_tc_ps * delta_c * c.coarse.tap_delay_ps[i] / 100.0;
+  return c;
+}
+
+}  // namespace gdelay::core

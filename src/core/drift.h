@@ -1,0 +1,31 @@
+// Thermal drift: why ATE calibration has a shelf life.
+//
+// The delay circuit lives under the Device Interface Board where the
+// thermal environment moves with DUT power. Buffer slew rates and bias
+// points drift with temperature, dragging the delay-vs-Vctrl curve and
+// the tap latencies along — so a deskew done cold degrades as the board
+// heats. ThermalDrift perturbs a ChannelConfig for a temperature offset;
+// bench_drift_recal quantifies the resulting skew error and shows the
+// recalibration loop absorbing it.
+#pragma once
+
+#include "core/channel.h"
+
+namespace gdelay::core {
+
+struct ThermalDrift {
+  /// Fractional slew-rate change per degree C (slower when hot).
+  double slew_tc_frac = -0.0030;
+  /// Fractional amplitude-endpoint change per degree C.
+  double amp_tc_frac = -0.0012;
+  /// Fractional stage-bandwidth change per degree C.
+  double bw_tc_frac = -0.0020;
+  /// Absolute trace-delay drift per tap, ps per degree C (dielectric).
+  double tap_tc_ps = 0.012;
+
+  /// Applies the drift for a temperature offset `delta_c` (degrees above
+  /// the calibration temperature).
+  ChannelConfig apply(const ChannelConfig& nominal, double delta_c) const;
+};
+
+}  // namespace gdelay::core

@@ -1,0 +1,58 @@
+#include "core/fine_delay.h"
+
+#include <stdexcept>
+
+namespace gdelay::core {
+
+FineDelayLine::FineDelayLine(const FineDelayConfig& cfg, util::Rng rng)
+    : cfg_(cfg),
+      vctrl_(cfg.stage.vctrl_max_v / 2.0),
+      out_(cfg.output_stage, rng.fork(999)) {
+  if (cfg.n_stages < 1)
+    throw std::invalid_argument("FineDelayLine: need >= 1 stage");
+  stages_.reserve(static_cast<std::size_t>(cfg.n_stages));
+  for (int i = 0; i < cfg.n_stages; ++i)
+    stages_.emplace_back(cfg.stage,
+                         rng.fork(static_cast<std::uint64_t>(i)));
+  set_vctrl(vctrl_);
+}
+
+void FineDelayLine::set_vctrl(double v) {
+  vctrl_ = v;
+  for (auto& s : stages_) s.set_vctrl(v);
+}
+
+void FineDelayLine::set_stage_vctrl(int stage, double v) {
+  stages_.at(static_cast<std::size_t>(stage)).set_vctrl(v);
+}
+
+double FineDelayLine::stage_vctrl(int stage) const {
+  return stages_.at(static_cast<std::size_t>(stage)).vctrl();
+}
+
+void FineDelayLine::reset() {
+  for (auto& s : stages_) s.reset();
+  out_.reset();
+}
+
+double FineDelayLine::step(double vin, double dt_ps) {
+  double v = vin;
+  for (auto& s : stages_) v = s.step(v, dt_ps);
+  return out_.step(v, dt_ps);
+}
+
+double FineDelayLine::step_with_vctrl(double vin, double vctrl,
+                                      double dt_ps) {
+  set_vctrl(vctrl);
+  return step(vin, dt_ps);
+}
+
+sig::Waveform FineDelayLine::process(const sig::Waveform& in) {
+  reset();
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = step(in[i], in.dt_ps());
+  return out;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,66 @@
+// The fine-adjustment delay line of Fig. 6: N cascaded variable-gain
+// buffers sharing one control voltage, followed by a limiting output
+// stage that recovers full logic swing.
+//
+// Each stage contributes ~10 ps of amplitude-dependent delay; the paper's
+// prototype uses N = 4 for a measured range of ~50-56 ps (Fig. 7) and
+// compares against an earlier N = 2 build (Fig. 15). `common_vctrl`
+// reflects the paper's simplification of driving all stages from one DAC;
+// per-stage control is available for the ablation study.
+#pragma once
+
+#include <vector>
+
+#include "analog/buffer.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+
+namespace gdelay::core {
+
+struct FineDelayConfig {
+  int n_stages = 4;
+  analog::VgaBufferConfig stage{};
+  analog::LimitingBufferConfig output_stage{};
+
+  /// Convenience: the paper's early 2-stage build.
+  static FineDelayConfig two_stage() {
+    FineDelayConfig c;
+    c.n_stages = 2;
+    return c;
+  }
+};
+
+class FineDelayLine {
+ public:
+  FineDelayLine(const FineDelayConfig& cfg, util::Rng rng);
+
+  int n_stages() const { return static_cast<int>(stages_.size()); }
+  const FineDelayConfig& config() const { return cfg_; }
+  double vctrl_max() const { return cfg_.stage.vctrl_max_v; }
+
+  /// Programs all stages (the paper's common-Vctrl arrangement).
+  void set_vctrl(double v);
+  double vctrl() const { return vctrl_; }
+
+  /// Per-stage override for the separate-control ablation.
+  void set_stage_vctrl(int stage, double v);
+  double stage_vctrl(int stage) const;
+
+  void reset();
+  double step(double vin, double dt_ps);
+
+  /// One sample with the common control voltage updated first — the
+  /// primitive behind jitter injection (Vctrl varies during the run).
+  double step_with_vctrl(double vin, double vctrl, double dt_ps);
+
+  /// Runs a waveform through a freshly reset line.
+  sig::Waveform process(const sig::Waveform& in);
+
+ private:
+  FineDelayConfig cfg_;
+  double vctrl_;
+  std::vector<analog::VariableGainBuffer> stages_;
+  analog::LimitingBuffer out_;
+};
+
+}  // namespace gdelay::core

@@ -1,0 +1,67 @@
+#include "core/jitter_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace gdelay::core {
+
+JitterInjector::JitterInjector(const JitterInjectorConfig& cfg, util::Rng rng)
+    : cfg_(cfg),
+      vctrl_dc_(cfg.vctrl_dc_v >= 0.0 ? cfg.vctrl_dc_v
+                                      : cfg.line.stage.vctrl_max_v / 2.0),
+      noise_pp_(cfg.noise_pp_v),
+      sj_pp_(cfg.sj_pp_v),
+      sj_freq_(cfg.sj_freq_ghz),
+      line_(cfg.line, rng.fork(1)),
+      noise_(1.0 /* unit sigma, scaled in step() */, cfg.noise_bandwidth_ghz,
+             rng.fork(2)),
+      coupler_(cfg.coupling_hp_ghz) {
+  if (cfg.noise_pp_v < 0.0)
+    throw std::invalid_argument("JitterInjector: noise_pp must be >= 0");
+}
+
+void JitterInjector::set_noise_pp(double pp_v) {
+  if (pp_v < 0.0)
+    throw std::invalid_argument("JitterInjector: noise_pp must be >= 0");
+  noise_pp_ = pp_v;
+}
+
+void JitterInjector::set_sj(double pp_v, double freq_ghz) {
+  if (pp_v < 0.0 || freq_ghz <= 0.0)
+    throw std::invalid_argument("JitterInjector: bad SJ parameters");
+  sj_pp_ = pp_v;
+  sj_freq_ = freq_ghz;
+}
+
+void JitterInjector::reset() {
+  line_.reset();
+  noise_.reset();
+  coupler_.reset();
+  sj_t_ps_ = 0.0;
+}
+
+double JitterInjector::step(double vin, double dt_ps) {
+  const double sigma = util::gaussian_pp_to_sigma(noise_pp_);
+  double raw = noise_.step(dt_ps) * sigma;
+  if (sj_pp_ > 0.0)
+    raw += 0.5 * sj_pp_ *
+           std::sin(2.0 * util::kPi * sj_freq_ * 1e-3 * sj_t_ps_);
+  sj_t_ps_ += dt_ps;
+  const double coupled = coupler_.step(raw, dt_ps);
+  const double vctrl = std::clamp(vctrl_dc_ + coupled, 0.0,
+                                  cfg_.line.stage.vctrl_max_v);
+  return line_.step_with_vctrl(vin, vctrl, dt_ps);
+}
+
+sig::Waveform JitterInjector::process(const sig::Waveform& in) {
+  reset();
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = step(in[i], in.dt_ps());
+  return out;
+}
+
+}  // namespace gdelay::core

@@ -1,0 +1,35 @@
+// The target-application requirements stated in Sections 1-2 of the paper
+// (ATE deskew of parallel 6.4 Gbps buses on a Teradyne UltraFlex with
+// SB6G sources). bench_req_compliance checks the simulated prototype
+// against these numbers.
+#pragma once
+
+namespace gdelay::core {
+
+struct Requirements {
+  /// Fine-delay programming resolution ("~1 ps (or better)").
+  static constexpr double kResolutionPs = 1.0;
+  /// Channel-to-channel skew accuracy after deskew ("<5 ps").
+  static constexpr double kChannelSkewPs = 5.0;
+  /// Added jitter budget ("minimal added jitter (<5 ps)"); the built
+  /// prototype measured ~7 ps below 6 Gbps — the paper reports exceeding
+  /// this goal slightly, and so do we.
+  static constexpr double kAddedJitterGoalPs = 5.0;
+  /// Total delay range needed by the application ("requires 120 ps").
+  static constexpr double kTotalRangePs = 120.0;
+  /// Operating data-rate span ("from <1 to 6.4 Gbps").
+  static constexpr double kMinRateGbps = 1.0;
+  static constexpr double kMaxRateGbps = 6.4;
+  /// Bit period at the maximum rate ("bit-period of only 156 ps").
+  static constexpr double kBitPeriodAtMaxPs = 156.25;
+  /// The ATE's native deskew resolution that is being improved upon
+  /// ("on the order of 100 ps").
+  static constexpr double kAteResolutionPs = 100.0;
+  /// Coarse tap pitch chosen by the paper.
+  static constexpr double kCoarseStepPs = 33.0;
+  /// Fine range needed to cover one coarse step with margin
+  /// ("we need about 33 ps of range to cover the coarse delay steps").
+  static constexpr double kFineRangeNeededPs = 33.0;
+};
+
+}  // namespace gdelay::core

@@ -1,0 +1,75 @@
+#include "core/variation.h"
+
+#include <algorithm>
+
+namespace gdelay::core {
+namespace {
+
+double scatter(util::Rng& rng, double nominal, double sigma_frac) {
+  // Clamp at +/-3 sigma so a pathological draw cannot flip a sign or
+  // zero a parameter.
+  const double g = std::clamp(rng.gaussian(), -3.0, 3.0);
+  return nominal * (1.0 + sigma_frac * g);
+}
+
+void vary_vga(analog::VgaBufferConfig& c, util::Rng& rng,
+              const ProcessVariation& v) {
+  c.input_gain = scatter(rng, c.input_gain, v.buffer_sigma_frac);
+  c.input_sat_v = scatter(rng, c.input_sat_v, v.buffer_sigma_frac);
+  c.f3db_ghz = scatter(rng, c.f3db_ghz, v.buffer_sigma_frac);
+  c.output_gain = scatter(rng, c.output_gain, v.buffer_sigma_frac);
+  c.output_ref_v = scatter(rng, c.output_ref_v, v.buffer_sigma_frac);
+  c.slew_v_per_ps = scatter(rng, c.slew_v_per_ps, v.buffer_sigma_frac);
+  c.amp_min_v = scatter(rng, c.amp_min_v, v.amplitude_sigma_frac);
+  c.amp_max_v = scatter(rng, c.amp_max_v, v.amplitude_sigma_frac);
+  if (c.amp_max_v <= c.amp_min_v + 0.01)
+    c.amp_max_v = c.amp_min_v + 0.01;  // keep a usable span
+  c.noise_sigma_v = scatter(rng, c.noise_sigma_v, v.noise_sigma_frac);
+  c.output_pole_f3db_ghz =
+      scatter(rng, c.output_pole_f3db_ghz, v.buffer_sigma_frac);
+}
+
+void vary_limiter(analog::LimitingBufferConfig& c, util::Rng& rng,
+                  const ProcessVariation& v) {
+  c.input_gain = scatter(rng, c.input_gain, v.buffer_sigma_frac);
+  c.f3db_ghz = scatter(rng, c.f3db_ghz, v.buffer_sigma_frac);
+  c.output_gain = scatter(rng, c.output_gain, v.buffer_sigma_frac);
+  c.slew_v_per_ps = scatter(rng, c.slew_v_per_ps, v.buffer_sigma_frac);
+  c.noise_sigma_v = scatter(rng, c.noise_sigma_v, v.noise_sigma_frac);
+}
+
+}  // namespace
+
+ChannelConfig ProcessVariation::apply(const ChannelConfig& nominal,
+                                      util::Rng& rng) const {
+  ChannelConfig c = nominal;
+  vary_vga(c.fine.stage, rng, *this);
+  vary_limiter(c.fine.output_stage, rng, *this);
+  vary_limiter(c.coarse.fanout, rng, *this);
+  vary_limiter(c.coarse.mux, rng, *this);
+  for (auto& e : c.coarse.tap_error_ps)
+    e += rng.gaussian(0.0, tap_length_sigma_ps);
+  // Tap 0 defines the reference plane; fold its error into the others so
+  // lengths stay non-negative.
+  const double e0 = c.coarse.tap_error_ps[0];
+  for (auto& e : c.coarse.tap_error_ps) e -= e0;
+  for (std::size_t i = 0; i < c.coarse.tap_error_ps.size(); ++i) {
+    const double len =
+        c.coarse.tap_delay_ps[i] + c.coarse.tap_error_ps[i];
+    if (len < 0.0) c.coarse.tap_error_ps[i] = -c.coarse.tap_delay_ps[i];
+  }
+  return c;
+}
+
+ChannelConfig ProcessVariation::slow_corner(const ChannelConfig& nominal,
+                                            double k) {
+  ProcessVariation v;
+  ChannelConfig c = nominal;
+  c.fine.stage.slew_v_per_ps *= 1.0 - k * v.buffer_sigma_frac;
+  c.fine.stage.f3db_ghz *= 1.0 - k * v.buffer_sigma_frac;
+  c.fine.stage.amp_max_v *= 1.0 - k * v.amplitude_sigma_frac;
+  c.fine.stage.amp_min_v *= 1.0 + k * v.amplitude_sigma_frac;
+  return c;
+}
+
+}  // namespace gdelay::core

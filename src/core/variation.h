@@ -1,0 +1,37 @@
+// Process variation: no two builds of the prototype are identical.
+//
+// The paper's 2-channel board (Fig. 11) and the later 4-channel version
+// must meet the < 5 ps *channel-to-channel* accuracy even though every
+// buffer, trace and DAC carries manufacturing scatter. ProcessVariation
+// draws a perturbed ChannelConfig from a nominal one so boards can be
+// Monte-Carlo'd; the per-channel calibration flow is what absorbs the
+// scatter (that is the point of calibrating at all).
+#pragma once
+
+#include "core/channel.h"
+#include "util/rng.h"
+
+namespace gdelay::core {
+
+struct ProcessVariation {
+  /// Fractional 1-sigma scatter on buffer small-signal parameters
+  /// (gains, bandwidths, slew rate, reference levels).
+  double buffer_sigma_frac = 0.04;
+  /// Fractional scatter on the programmed amplitude endpoints (the
+  /// gain-control characteristic differs part to part).
+  double amplitude_sigma_frac = 0.03;
+  /// Absolute scatter on each coarse tap's electrical length, ps —
+  /// the Fig. 9 style trace-trim error.
+  double tap_length_sigma_ps = 2.5;
+  /// Scatter on per-stage noise level.
+  double noise_sigma_frac = 0.10;
+
+  /// Draws one perturbed instance. Deterministic given the Rng state.
+  ChannelConfig apply(const ChannelConfig& nominal, util::Rng& rng) const;
+
+  /// A wafer-spread corner: everything shifted k sigma in the direction
+  /// that hurts range (slow slew, weak amplitude span).
+  static ChannelConfig slow_corner(const ChannelConfig& nominal, double k);
+};
+
+}  // namespace gdelay::core

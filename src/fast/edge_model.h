@@ -1,0 +1,60 @@
+// Edge-domain fast model of a calibrated delay channel.
+//
+// Bus-scale studies (millions of bits, many channels) do not need the
+// sample-level analog simulation: once a channel is calibrated, its
+// externally visible behaviour is "each edge comes out delay(tap, Vctrl)
+// later, plus a little added random jitter". FastChannel applies exactly
+// that transform to edge-time lists; fit_edge_model() extracts the
+// parameters from the analog model so the two stay consistent (verified
+// in tests, quantified in bench_perf_models).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "signal/waveform.h"
+#include "util/curve.h"
+#include "util/rng.h"
+
+namespace gdelay::fast {
+
+struct EdgeModelParams {
+  double base_latency_ps = 0.0;
+  util::Curve fine_curve;                 ///< vctrl -> fine delay (ps).
+  std::array<double, 4> tap_offset_ps{};  ///< Relative to tap 0.
+  double added_rj_sigma_ps = 0.0;         ///< Jitter added per pass.
+};
+
+class FastChannel {
+ public:
+  FastChannel(EdgeModelParams params, util::Rng rng);
+
+  const EdgeModelParams& params() const { return params_; }
+
+  void select_tap(int tap);
+  int selected_tap() const { return tap_; }
+  void set_vctrl(double v) { vctrl_ = v; }
+  double vctrl() const { return vctrl_; }
+
+  /// Total latency at the current programming.
+  double latency_ps() const;
+
+  /// Applies the channel to a sorted list of edge times.
+  std::vector<double> transform(const std::vector<double>& edges_ps);
+
+ private:
+  EdgeModelParams params_;
+  int tap_ = 0;
+  double vctrl_ = 0.0;
+  util::Rng rng_;
+};
+
+/// Extracts edge-model parameters from an analog channel by running the
+/// standard calibration plus one jitter comparison at mid-range.
+EdgeModelParams fit_edge_model(core::VariableDelayChannel& ch,
+                               const sig::Waveform& stimulus, double ui_ps,
+                               core::DelayCalibrator::Options opts = {});
+
+}  // namespace gdelay::fast

@@ -1,0 +1,100 @@
+#include "fast/fast_bus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gdelay::fast {
+
+sig::BitPattern sample_edges(const std::vector<double>& edge_times_ps,
+                             const std::vector<double>& strobes_ps,
+                             int initial_level) {
+  sig::BitPattern out;
+  out.reserve(strobes_ps.size());
+  for (double t : strobes_ps) {
+    const auto n = std::upper_bound(edge_times_ps.begin(),
+                                    edge_times_ps.end(), t) -
+                   edge_times_ps.begin();
+    out.push_back(((n & 1) != 0) ? 1 - initial_level : initial_level);
+  }
+  return out;
+}
+
+EdgeStream ideal_edges(const sig::BitPattern& bits, double ui_ps,
+                       double t_first_edge_ps) {
+  if (bits.empty()) throw std::invalid_argument("ideal_edges: empty pattern");
+  EdgeStream s;
+  s.initial_level = bits.front();
+  for (std::size_t i = 1; i < bits.size(); ++i)
+    if (bits[i] != bits[i - 1])
+      s.times_ps.push_back(t_first_edge_ps +
+                           ui_ps * static_cast<double>(i));
+  return s;
+}
+
+FastBus::FastBus(const FastBusConfig& cfg, const EdgeModelParams& lane_model,
+                 util::Rng rng)
+    : FastBus(cfg,
+              std::vector<EdgeModelParams>(
+                  static_cast<std::size_t>(std::max(cfg.n_lanes, 0)),
+                  lane_model),
+              rng) {}
+
+FastBus::FastBus(const FastBusConfig& cfg,
+                 std::vector<EdgeModelParams> lane_models, util::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  if (cfg.n_lanes < 1) throw std::invalid_argument("FastBus: need >= 1 lane");
+  if (static_cast<int>(lane_models.size()) != cfg.n_lanes)
+    throw std::invalid_argument("FastBus: lane model count mismatch");
+  lanes_.reserve(lane_models.size());
+  skews_.reserve(lane_models.size());
+  for (int i = 0; i < cfg.n_lanes; ++i) {
+    lanes_.emplace_back(lane_models[static_cast<std::size_t>(i)],
+                        rng_.fork(static_cast<std::uint64_t>(i)));
+    skews_.push_back(cfg.skew_span_ps == 0.0
+                         ? 0.0
+                         : rng_.uniform(-cfg.skew_span_ps / 2.0,
+                                        cfg.skew_span_ps / 2.0));
+  }
+}
+
+FastBus::BerResult FastBus::run_ber(std::size_t bits_per_lane,
+                                    double strobe_phase_ps) {
+  BerResult res;
+  for (int lane_i = 0; lane_i < n_lanes(); ++lane_i) {
+    auto& lane = lanes_[static_cast<std::size_t>(lane_i)];
+    const auto bits = sig::prbs(
+        15, bits_per_lane, static_cast<std::uint32_t>(7 + lane_i * 131));
+    EdgeStream src = ideal_edges(bits, cfg_.ui_ps);
+
+    // Launch: static lane skew + per-edge source jitter.
+    util::Rng jrng = rng_.fork(9000 + static_cast<std::uint64_t>(lane_i));
+    const double skew = skews_[static_cast<std::size_t>(lane_i)];
+    for (auto& t : src.times_ps) {
+      t += skew;
+      if (cfg_.source_rj_sigma_ps > 0.0)
+        t += jrng.gaussian(0.0, cfg_.source_rj_sigma_ps);
+    }
+    std::sort(src.times_ps.begin(), src.times_ps.end());
+
+    const auto received = lane.transform(src.times_ps);
+
+    // The receiver is trained to the eye center (CDR-style): strobe at
+    // bit center + channel latency, plus the requested phase offset.
+    const double latency = lane.latency_ps() + skew;
+    std::vector<double> strobes;
+    strobes.reserve(bits.size());
+    for (std::size_t k = 0; k < bits.size(); ++k)
+      strobes.push_back(static_cast<double>(k) * cfg_.ui_ps +
+                        cfg_.ui_ps / 2.0 + latency + strobe_phase_ps);
+    const auto sampled = sample_edges(received, strobes, src.initial_level);
+
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      ++res.bits_total;
+      if (sampled[k] != bits[k]) ++res.bit_errors;
+    }
+  }
+  return res;
+}
+
+}  // namespace gdelay::fast

@@ -1,0 +1,80 @@
+// Bus-scale edge-domain simulation: N calibrated FastChannels plus an
+// edge-list receiver, fast enough for BER studies over millions of bits
+// that the sample-level analog model cannot touch (see bench_perf_models
+// for the ~50,000x throughput gap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fast/edge_model.h"
+#include "signal/pattern.h"
+#include "util/rng.h"
+
+namespace gdelay::fast {
+
+/// Samples a logic level from an edge list: the signal starts at
+/// `initial_level` and toggles at every edge time. Strobes and edges must
+/// be sorted ascending. O((n+m) log) via binary search per strobe.
+sig::BitPattern sample_edges(const std::vector<double>& edge_times_ps,
+                             const std::vector<double>& strobes_ps,
+                             int initial_level);
+
+/// Ideal NRZ edge times for a bit pattern on a UI grid (the fast-domain
+/// equivalent of the synthesizer, without waveform rendering).
+struct EdgeStream {
+  std::vector<double> times_ps;
+  int initial_level = 0;
+};
+EdgeStream ideal_edges(const sig::BitPattern& bits, double ui_ps,
+                       double t_first_edge_ps = 0.0);
+
+struct FastBusConfig {
+  int n_lanes = 8;
+  double ui_ps = 156.25;
+  /// Per-lane static skew span (uniform +/- span/2).
+  double skew_span_ps = 0.0;
+  /// Source random jitter per edge.
+  double source_rj_sigma_ps = 1.0;
+};
+
+/// N lanes of (source skew + jitter) -> FastChannel -> strobed receiver.
+class FastBus {
+ public:
+  /// One FastChannel parameter set shared by all lanes (pass per-lane
+  /// models via the second constructor for mismatch studies).
+  FastBus(const FastBusConfig& cfg, const EdgeModelParams& lane_model,
+          util::Rng rng);
+  FastBus(const FastBusConfig& cfg, std::vector<EdgeModelParams> lane_models,
+          util::Rng rng);
+
+  int n_lanes() const { return static_cast<int>(lanes_.size()); }
+  FastChannel& lane(int i) { return lanes_.at(static_cast<std::size_t>(i)); }
+  double lane_skew_ps(int i) const {
+    return skews_.at(static_cast<std::size_t>(i));
+  }
+
+  struct BerResult {
+    std::uint64_t bits_total = 0;
+    std::uint64_t bit_errors = 0;
+    double ber() const {
+      return bits_total == 0
+                 ? 0.0
+                 : static_cast<double>(bit_errors) /
+                       static_cast<double>(bits_total);
+    }
+  };
+
+  /// Runs `bits` per lane (PRBS, per-lane seeds) with a COMMON strobe at
+  /// `strobe_phase_ps` within the UI, summing errors over all lanes.
+  /// `latency_hint_ps` tells the receiver how many whole UIs to skip.
+  BerResult run_ber(std::size_t bits_per_lane, double strobe_phase_ps);
+
+ private:
+  FastBusConfig cfg_;
+  std::vector<FastChannel> lanes_;
+  std::vector<double> skews_;
+  util::Rng rng_;
+};
+
+}  // namespace gdelay::fast

@@ -1,0 +1,73 @@
+#include "measure/bathtub.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdelay::meas {
+
+double q_function(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+namespace {
+
+double ber_at(double x, double ui, double sigma, double dj, double rho) {
+  const double left = (x - dj / 2.0) / sigma;
+  const double right = (ui - x - dj / 2.0) / sigma;
+  return rho / 2.0 * (q_function(left) + q_function(right));
+}
+
+}  // namespace
+
+std::vector<BathtubPoint> bathtub_curve(double ui_ps, double rj_rms_ps,
+                                        double dj_pp_ps,
+                                        const BathtubOptions& opt) {
+  if (ui_ps <= 0.0) throw std::invalid_argument("bathtub: ui must be > 0");
+  if (rj_rms_ps <= 0.0)
+    throw std::invalid_argument("bathtub: rj must be > 0");
+  if (dj_pp_ps < 0.0) throw std::invalid_argument("bathtub: dj must be >= 0");
+  if (opt.n_points < 3)
+    throw std::invalid_argument("bathtub: need >= 3 points");
+
+  std::vector<BathtubPoint> out;
+  out.reserve(opt.n_points);
+  for (std::size_t i = 0; i < opt.n_points; ++i) {
+    const double x = ui_ps * static_cast<double>(i) /
+                     static_cast<double>(opt.n_points - 1);
+    out.push_back({x, ber_at(x, ui_ps, rj_rms_ps, dj_pp_ps,
+                             opt.transition_density)});
+  }
+  return out;
+}
+
+std::vector<BathtubPoint> bathtub_curve(const JitterReport& report,
+                                        const BathtubOptions& opt) {
+  // Guard against a perfectly clean (simulated) signal.
+  const double rj = report.rj_rms_ps > 1e-6 ? report.rj_rms_ps : 1e-6;
+  return bathtub_curve(report.ui_ps, rj, report.dj_pp_ps, opt);
+}
+
+double eye_opening_at_ber(double ui_ps, double rj_rms_ps, double dj_pp_ps,
+                          double target_ber, double transition_density) {
+  if (target_ber <= 0.0 || target_ber >= 1.0)
+    throw std::invalid_argument("eye_opening_at_ber: BER in (0,1) required");
+  // Solve BER(x) = target for the left edge by bisection over [0, UI/2];
+  // the curve is monotone decreasing there (left crossing dominates).
+  double lo = 0.0, hi = ui_ps / 2.0;
+  const auto ber = [&](double x) {
+    return ber_at(x, ui_ps, rj_rms_ps, dj_pp_ps, transition_density);
+  };
+  if (ber(hi) >= target_ber) return 0.0;  // closed at the center
+  if (ber(lo) < target_ber) return ui_ps; // open everywhere (clean clock)
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (ber(mid) >= target_ber)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double left_edge = (lo + hi) / 2.0;
+  return ui_ps - 2.0 * left_edge;  // symmetric by construction
+}
+
+}  // namespace gdelay::meas

@@ -1,0 +1,52 @@
+// BER bathtub curves from jitter statistics (dual-Dirac extrapolation).
+//
+// A receiver strobing at phase x inside the eye sees a bit error whenever
+// a crossing wanders past the strobe. With the dual-Dirac jitter model
+// (two deterministic impulses +/- DJ/2 apart, each convolved with a
+// Gaussian RJ of sigma), the BER at offset x from the left crossing is
+//
+//   BER(x) = rho_t/2 * [ Q((x - DJ/2)/sigma) + Q((UI - x - DJ/2)/sigma) ]
+//
+// with Q the Gaussian tail and rho_t the transition density (0.5 for
+// random data). This is how ATE jitter packages extrapolate the
+// measured TJ/RJ/DJ decomposition down to BER 1e-12 without taking 1e12
+// bits of data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "measure/jitter.h"
+
+namespace gdelay::meas {
+
+struct BathtubPoint {
+  double phase_ps = 0.0;  ///< Strobe offset from the nominal crossing.
+  double ber = 0.0;
+};
+
+struct BathtubOptions {
+  std::size_t n_points = 65;
+  double transition_density = 0.5;
+};
+
+/// Gaussian tail probability Q(z) = P(N(0,1) > z).
+double q_function(double z);
+
+/// The full bathtub across one UI from a jitter decomposition.
+/// `rj_rms_ps` must be > 0; `dj_pp_ps` >= 0.
+std::vector<BathtubPoint> bathtub_curve(double ui_ps, double rj_rms_ps,
+                                        double dj_pp_ps,
+                                        const BathtubOptions& opt = {});
+
+/// Convenience: from a measured JitterReport.
+std::vector<BathtubPoint> bathtub_curve(const JitterReport& report,
+                                        const BathtubOptions& opt = {});
+
+/// Width of the region where BER < `target_ber` (the "eye opening at
+/// 1e-12" figure of merit). 0 if the eye is closed at that BER.
+double eye_opening_at_ber(double ui_ps, double rj_rms_ps, double dj_pp_ps,
+                          double target_ber,
+                          double transition_density = 0.5);
+
+}  // namespace gdelay::meas

@@ -1,0 +1,67 @@
+// Eye-diagram accumulation and metrics — the software equivalent of the
+// sampling oscilloscope displays in the paper's Figs. 9, 12, 13, 14, 16.
+//
+// Samples are folded modulo one unit interval into a 2-UI-wide raster
+// (two eye openings, one full crossing in the middle, like a scope set to
+// 2 UI/screen). Metrics come from the crossing-time and level
+// distributions: eye width = UI - TJ(pp), eye height from the level
+// clusters in a narrow column at the eye center.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "measure/jitter.h"
+#include "signal/waveform.h"
+
+namespace gdelay::meas {
+
+struct EyeMetrics {
+  double ui_ps = 0.0;
+  double crossing_phase_ps = 0.0;  ///< Crossing position within the UI.
+  double eye_width_ps = 0.0;       ///< UI - TJ(pp).
+  double eye_height_v = 0.0;       ///< Vertical opening at eye center.
+  double level_high_v = 0.0;       ///< Mean of the high cluster at center.
+  double level_low_v = 0.0;        ///< Mean of the low cluster at center.
+  JitterReport jitter;             ///< Crossing-time jitter statistics.
+};
+
+class EyeDiagram {
+ public:
+  /// Raster of `cols` x `rows` covering 2 UI horizontally and
+  /// [v_min, v_max] vertically.
+  EyeDiagram(double ui_ps, double v_min, double v_max, std::size_t cols = 96,
+             std::size_t rows = 32);
+
+  /// Folds a waveform into the raster. `phase_ps` rotates the fold so the
+  /// crossing appears centered; `settle_ps` skips the initial transient.
+  void accumulate(const sig::Waveform& wf, double phase_ps = 0.0,
+                  double settle_ps = 400.0);
+
+  double ui_ps() const { return ui_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t count(std::size_t col, std::size_t row) const;
+  std::size_t total() const { return total_; }
+
+  /// ASCII art of the accumulated eye (density-shaded), for bench output.
+  std::string ascii() const;
+
+ private:
+  double ui_;
+  double v_min_;
+  double v_max_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<std::size_t> grid_;  // row-major [row][col]
+  std::size_t total_ = 0;
+};
+
+/// Computes the eye metrics for a waveform at the given UI, using the
+/// crossing distribution for the horizontal numbers and a +/-5 %-UI column
+/// at the eye center for the vertical ones.
+EyeMetrics measure_eye(const sig::Waveform& wf, double ui_ps,
+                       double threshold_v = 0.0, double settle_ps = 400.0);
+
+}  // namespace gdelay::meas

@@ -1,0 +1,40 @@
+// Small-signal frequency-response characterization — the VNA of the
+// toolbox. Drives an element with a settled sine, extracts gain and
+// phase by I/Q correlation over whole cycles, and differentiates the
+// unwrapped phase for group delay. Used to verify that the behavioral
+// elements realize their configured poles and delays, independently of
+// the time-domain instruments.
+#pragma once
+
+#include <vector>
+
+#include "analog/element.h"
+
+namespace gdelay::meas {
+
+struct FreqPoint {
+  double f_ghz = 0.0;
+  double gain = 0.0;        ///< |out| / |in| (linear).
+  double gain_db = 0.0;     ///< 20 log10(gain).
+  double phase_rad = 0.0;   ///< Unwrapped across the sweep.
+  double group_delay_ps = 0.0;  ///< -dphase/domega (0 for first point).
+};
+
+struct FreqResponseOptions {
+  double amplitude_v = 0.02;  ///< Small-signal drive (stay linear).
+  double dt_ps = 0.1;
+  int settle_cycles = 20;     ///< Discarded before correlation.
+  int measure_cycles = 40;    ///< Whole cycles correlated.
+};
+
+/// Sweeps `freqs_ghz` (must be ascending) through a freshly reset copy of
+/// the element at each point. The element is reset() per frequency.
+std::vector<FreqPoint> measure_frequency_response(
+    analog::AnalogElement& element, const std::vector<double>& freqs_ghz,
+    const FreqResponseOptions& opt = {});
+
+/// -3 dB frequency by log-linear interpolation on a measured response
+/// (relative to the first point's gain). Returns 0 if never crossed.
+double f3db_from_response(const std::vector<FreqPoint>& response);
+
+}  // namespace gdelay::meas

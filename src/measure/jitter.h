@@ -1,0 +1,76 @@
+// Jitter analysis: total (pk-pk), random (rms) and a dual-Dirac-style
+// deterministic-jitter estimate, computed from 50 %-threshold crossing
+// instants exactly the way a sampling-scope jitter package does it: fold
+// each crossing onto the nominal unit-interval grid (the grid phase is
+// estimated from the data itself by circular averaging) and look at the
+// distribution of the residuals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace gdelay::meas {
+
+struct JitterReport {
+  std::size_t n_edges = 0;
+  double ui_ps = 0.0;
+  double grid_phase_ps = 0.0;  ///< Estimated crossing position within a UI.
+  double tj_pp_ps = 0.0;       ///< Total jitter, peak-to-peak.
+  double rj_rms_ps = 0.0;      ///< Random jitter, standard deviation.
+  double dj_pp_ps = 0.0;       ///< Deterministic estimate: TJ - 2*Q*RJ, >= 0.
+  std::vector<double> residuals_ps;  ///< Per-edge deviation from the grid.
+};
+
+/// Analyzes crossing instants against a UI grid of period `ui_ps`.
+/// Edges may be an arbitrary mix of rising and falling as long as both
+/// land on the same grid (true for NRZ and for 50 %-duty clocks).
+JitterReport analyze_jitter(const std::vector<double>& crossing_times_ps,
+                            double ui_ps);
+
+struct JitterMeasureOptions {
+  double threshold_v = 0.0;
+  /// Re-arm band around the threshold (noise-chatter suppression).
+  double hysteresis_v = 0.1;
+  /// Crossings before t0 + settle are ignored (circuit settling, lead-in).
+  double settle_ps = 400.0;
+};
+
+/// Convenience: extract crossings from a waveform and analyze them.
+JitterReport measure_jitter(const sig::Waveform& wf, double ui_ps,
+                            const JitterMeasureOptions& opt = {});
+
+/// Data-dependent jitter analysis: crossing residuals grouped by the
+/// length of the preceding run (the gap to the previous transition, in
+/// UIs). A channel with memory — ISI from band limits, or bias droop
+/// like our VGA stages — places an edge differently after a long run
+/// than after a 0101 burst; the spread of the per-run-length means is
+/// the classic DDJ figure.
+struct DdjBucket {
+  int run_ui = 0;          ///< Preceding gap, rounded to whole UIs.
+  std::size_t n = 0;       ///< Edges in this bucket.
+  double mean_ps = 0.0;    ///< Mean residual.
+  double stddev_ps = 0.0;  ///< Spread within the bucket (RJ estimate).
+};
+
+struct DdjReport {
+  std::vector<DdjBucket> buckets;  ///< Sorted by run length.
+  /// Spread of bucket means (buckets with >= min_count edges).
+  double ddj_pp_ps = 0.0;
+};
+
+DdjReport analyze_ddj(const std::vector<double>& crossing_times_ps,
+                      double ui_ps, std::size_t min_count = 5);
+
+/// Duty-cycle statistics of a (clock-like or data) waveform: fraction of
+/// time above threshold, and the duty-cycle distortion expressed in ps
+/// per UI (0.5 duty = 0 DCD). Uses the settled portion only.
+struct DutyReport {
+  double duty = 0.5;    ///< Fraction of samples above threshold.
+  double dcd_ps = 0.0;  ///< (duty - 0.5) * 2 * ui.
+};
+DutyReport measure_duty(const sig::Waveform& wf, double ui_ps,
+                        double threshold_v = 0.0, double settle_ps = 12000.0);
+
+}  // namespace gdelay::meas

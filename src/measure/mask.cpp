@@ -1,0 +1,48 @@
+#include "measure/mask.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "measure/jitter.h"
+
+namespace gdelay::meas {
+
+bool point_in_mask(const EyeMask& mask, double dt_ps, double dv) {
+  const double x = std::abs(dt_ps);
+  const double y = std::abs(dv);
+  if (x >= mask.width_ps / 2.0 || y >= mask.height_v / 2.0) return false;
+  if (x <= mask.inner_width_ps / 2.0) return true;
+  // Sloped flank: height shrinks linearly from full to zero between the
+  // inner half-width and the outer half-width.
+  const double span = (mask.width_ps - mask.inner_width_ps) / 2.0;
+  const double frac = (mask.width_ps / 2.0 - x) / span;  // 1 -> 0
+  return y < frac * mask.height_v / 2.0;
+}
+
+MaskResult test_eye_mask(const sig::Waveform& wf, double ui_ps,
+                         const EyeMask& mask, double threshold_v,
+                         double settle_ps) {
+  if (ui_ps <= 0.0) throw std::invalid_argument("test_eye_mask: ui must be > 0");
+  if (mask.inner_width_ps > mask.width_ps)
+    throw std::invalid_argument("test_eye_mask: inner width > width");
+
+  JitterMeasureOptions jo;
+  jo.threshold_v = threshold_v;
+  jo.settle_ps = settle_ps;
+  const auto jr = measure_jitter(wf, ui_ps, jo);
+
+  MaskResult res;
+  res.center_phase_ps = jr.grid_phase_ps + ui_ps / 2.0;
+  for (std::size_t i = 0; i < wf.size(); ++i) {
+    const double t = wf.time_at(i);
+    if (t < wf.t0_ps() + settle_ps) continue;
+    double x = std::fmod(t - res.center_phase_ps, ui_ps);
+    if (x < 0.0) x += ui_ps;
+    if (x > ui_ps / 2.0) x -= ui_ps;  // now centered on the eye
+    ++res.samples_checked;
+    if (point_in_mask(mask, x, wf[i] - threshold_v)) ++res.hits;
+  }
+  return res;
+}
+
+}  // namespace gdelay::meas

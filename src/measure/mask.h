@@ -1,0 +1,47 @@
+// Eye-mask testing — the standard ATE pass/fail criterion for signal
+// quality: a hexagonal keep-out region is placed in the eye center and
+// any waveform sample falling inside it is a violation.
+//
+//          ____________
+//         /            \        total width  = width_ps (at threshold)
+//        <              >       flat-top span = inner_width_ps
+//         \____________/        total height = height_v
+//
+#pragma once
+
+#include <cstddef>
+
+#include "signal/waveform.h"
+
+namespace gdelay::meas {
+
+struct EyeMask {
+  double width_ps = 60.0;        ///< Mask extent along time at threshold.
+  double inner_width_ps = 30.0;  ///< Span of the full-height flat section.
+  double height_v = 0.2;         ///< Total vertical extent.
+};
+
+struct MaskResult {
+  std::size_t hits = 0;             ///< Samples inside the mask.
+  std::size_t samples_checked = 0;  ///< Samples folded into the eye.
+  double center_phase_ps = 0.0;     ///< Where the mask was placed.
+  bool pass() const { return hits == 0; }
+  double hit_ratio() const {
+    return samples_checked == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(samples_checked);
+  }
+};
+
+/// True if point (dt_ps, dv) relative to the mask center lies inside the
+/// hexagon.
+bool point_in_mask(const EyeMask& mask, double dt_ps, double dv);
+
+/// Folds the waveform onto the UI and tests every sample against a mask
+/// centered at the measured eye center (crossing phase + UI/2, threshold).
+MaskResult test_eye_mask(const sig::Waveform& wf, double ui_ps,
+                         const EyeMask& mask, double threshold_v = 0.0,
+                         double settle_ps = 12000.0);
+
+}  // namespace gdelay::meas

@@ -1,0 +1,28 @@
+// Small descriptive-statistics helpers shared by the instruments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gdelay::meas {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double peak_to_peak() const { return max - min; }
+};
+
+/// Summary statistics of a sample set. Returns a zeroed Summary for empty
+/// input.
+Summary summarize(const std::vector<double>& xs);
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// q in [0, 1]; linear interpolation between order statistics.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace gdelay::meas

@@ -1,0 +1,81 @@
+#include "signal/edges.h"
+
+#include <cmath>
+
+namespace gdelay::sig {
+
+std::vector<Edge> extract_edges(const Waveform& wf,
+                                const EdgeExtractOptions& opt) {
+  std::vector<Edge> edges;
+  if (wf.size() < 2) return edges;
+
+  const double th = opt.threshold_v;
+  const double hy = std::max(opt.hysteresis_v, 0.0) / 2.0;
+
+  // State: +1 after the signal has been above th+hy, -1 after below th-hy,
+  // 0 before the first excursion.
+  int state = 0;
+  if (wf[0] > th + hy) state = 1;
+  else if (wf[0] < th - hy) state = -1;
+
+  for (std::size_t i = 1; i < wf.size(); ++i) {
+    const double prev = wf[i - 1];
+    const double cur = wf[i];
+    int new_state = state;
+    if (cur > th + hy) new_state = 1;
+    else if (cur < th - hy) new_state = -1;
+    if (new_state == state || new_state == 0) {
+      state = new_state;
+      continue;
+    }
+    const bool rising = new_state > 0;
+    if (state == 0) {
+      // First excursion establishes polarity without reporting an edge.
+      state = new_state;
+      continue;
+    }
+    // Locate the actual threshold crossing by scanning back for the sample
+    // pair straddling the threshold in this direction.
+    std::size_t j = i;
+    while (j > 1) {
+      const double a = wf[j - 1], b = wf[j];
+      if ((rising && a <= th && b > th) || (!rising && a >= th && b < th)) break;
+      --j;
+    }
+    const double a = wf[j - 1], b = wf[j];
+    double t;
+    if (b == a) {
+      t = wf.time_at(j);
+    } else {
+      const double frac = (th - a) / (b - a);
+      t = wf.time_at(j - 1) + frac * wf.dt_ps();
+    }
+    if (t >= opt.t_min_ps && t <= opt.t_max_ps) edges.push_back({t, rising});
+    state = new_state;
+    (void)prev;
+  }
+  return edges;
+}
+
+std::vector<double> edge_times(const std::vector<Edge>& edges) {
+  std::vector<double> t;
+  t.reserve(edges.size());
+  for (const auto& e : edges) t.push_back(e.t_ps);
+  return t;
+}
+
+std::vector<double> rising_times(const std::vector<Edge>& edges) {
+  std::vector<double> t;
+  for (const auto& e : edges)
+    if (e.rising) t.push_back(e.t_ps);
+  return t;
+}
+
+std::vector<double> falling_times(const std::vector<Edge>& edges) {
+  std::vector<double> t;
+  for (const auto& e : edges)
+    if (!e.rising) t.push_back(e.t_ps);
+  return t;
+}
+
+}  // namespace gdelay::sig

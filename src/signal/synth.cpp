@@ -1,0 +1,158 @@
+#include "signal/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace gdelay::sig {
+namespace {
+
+// 20-80 % rise time of A*tanh(t/tau) is 2*atanh(0.6)*tau ~= 1.3863*tau.
+constexpr double kTanh2080 = 1.3862943611198906;
+
+// Smooth unit step implemented with tanh; 0 below -W*tau, 1 above +W*tau.
+constexpr double kStepWindow = 7.0;
+
+struct Transition {
+  double t_ps;
+  double delta_v;  // level change across the transition (signed)
+};
+
+// Renders a waveform from an initial level plus a list of smooth steps.
+// Two-pointer sweep: transitions fully in the past contribute their full
+// delta to a running base level; only transitions inside the +/-W*tau
+// window are evaluated per sample.
+Waveform render(double t0, double dt, std::size_t n, double level0,
+                std::vector<Transition> trs, double tau) {
+  std::sort(trs.begin(), trs.end(),
+            [](const Transition& a, const Transition& b) { return a.t_ps < b.t_ps; });
+  Waveform wf(t0, dt, n);
+  const double w = kStepWindow * tau;
+  std::size_t lo = 0;  // first transition not yet fully in the past
+  double base = level0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = wf.time_at(i);
+    while (lo < trs.size() && trs[lo].t_ps < t - w) {
+      base += trs[lo].delta_v;
+      ++lo;
+    }
+    double v = base;
+    for (std::size_t k = lo; k < trs.size() && trs[k].t_ps <= t + w; ++k) {
+      const double x = (t - trs[k].t_ps) / tau;
+      v += trs[k].delta_v * 0.5 * (1.0 + std::tanh(x));
+    }
+    wf[i] = v;
+  }
+  return wf;
+}
+
+double dj_offset(const SynthConfig& cfg, double t_ps) {
+  if (cfg.dj_pp_ps <= 0.0) return 0.0;
+  return 0.5 * cfg.dj_pp_ps *
+         std::sin(2.0 * util::kPi * cfg.dj_freq_ghz * 1e-3 * t_ps);
+}
+
+double jittered(const SynthConfig& cfg, double t_ideal, double ui,
+                util::Rng* rng) {
+  double t = t_ideal + dj_offset(cfg, t_ideal);
+  if (cfg.rj_sigma_ps > 0.0) {
+    if (rng == nullptr)
+      throw std::invalid_argument("synthesize: rj_sigma_ps > 0 needs an Rng");
+    // Clamp so pathological draws cannot reorder adjacent edges.
+    const double j = rng->gaussian(0.0, cfg.rj_sigma_ps);
+    t += std::clamp(j, -0.4 * ui, 0.4 * ui);
+  }
+  return t;
+}
+
+void validate(const SynthConfig& cfg) {
+  if (cfg.rate_gbps <= 0.0) throw std::invalid_argument("synth: rate must be > 0");
+  if (cfg.dt_ps <= 0.0) throw std::invalid_argument("synth: dt must be > 0");
+  if (cfg.rise_time_ps <= 0.0)
+    throw std::invalid_argument("synth: rise time must be > 0");
+  if (cfg.amplitude_v <= 0.0)
+    throw std::invalid_argument("synth: amplitude must be > 0");
+}
+
+}  // namespace
+
+SynthResult synthesize_nrz(const BitPattern& bits, const SynthConfig& cfg,
+                           util::Rng* rng) {
+  validate(cfg);
+  if (bits.empty()) throw std::invalid_argument("synthesize_nrz: empty pattern");
+  const double ui = cfg.unit_interval_ps();
+  const double tau = cfg.rise_time_ps / kTanh2080;
+  const double a = cfg.amplitude_v;
+
+  SynthResult res;
+  res.unit_interval_ps = ui;
+  std::vector<Transition> trs;
+  const double first_edge = cfg.lead_in_ps;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits[i] == bits[i - 1]) continue;
+    const double t_ideal = first_edge + static_cast<double>(i - 1) * ui + ui;
+    const double t = jittered(cfg, t_ideal, ui, rng);
+    res.ideal_edges_ps.push_back(t_ideal);
+    res.actual_edges_ps.push_back(t);
+    trs.push_back({t, (bits[i] ? 2.0 : -2.0) * a});
+  }
+
+  const double total =
+      cfg.lead_in_ps + static_cast<double>(bits.size()) * ui + cfg.tail_ps;
+  const auto n = static_cast<std::size_t>(std::ceil(total / cfg.dt_ps)) + 1;
+  const double level0 = bits.front() ? a : -a;
+  res.wf = render(0.0, cfg.dt_ps, n, level0, std::move(trs), tau);
+  return res;
+}
+
+SynthResult synthesize_rz(const BitPattern& bits, const SynthConfig& cfg,
+                          double duty, util::Rng* rng) {
+  validate(cfg);
+  if (bits.empty()) throw std::invalid_argument("synthesize_rz: empty pattern");
+  if (duty <= 0.0 || duty >= 1.0)
+    throw std::invalid_argument("synthesize_rz: duty must be in (0,1)");
+  const double ui = cfg.unit_interval_ps();
+  const double tau = cfg.rise_time_ps / kTanh2080;
+  const double a = cfg.amplitude_v;
+
+  SynthResult res;
+  res.unit_interval_ps = ui;
+  std::vector<Transition> trs;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (!bits[i]) continue;
+    const double rise_ideal = cfg.lead_in_ps + static_cast<double>(i) * ui;
+    const double fall_ideal = rise_ideal + duty * ui;
+    const double tr = jittered(cfg, rise_ideal, ui, rng);
+    const double tf = jittered(cfg, fall_ideal, ui, rng);
+    res.ideal_edges_ps.push_back(rise_ideal);
+    res.ideal_edges_ps.push_back(fall_ideal);
+    res.actual_edges_ps.push_back(tr);
+    res.actual_edges_ps.push_back(tf);
+    trs.push_back({tr, 2.0 * a});
+    trs.push_back({tf, -2.0 * a});
+  }
+
+  const double total =
+      cfg.lead_in_ps + static_cast<double>(bits.size()) * ui + cfg.tail_ps;
+  const auto n = static_cast<std::size_t>(std::ceil(total / cfg.dt_ps)) + 1;
+  res.wf = render(0.0, cfg.dt_ps, n, -a, std::move(trs), tau);
+  return res;
+}
+
+SynthResult synthesize_clock(double f_ghz, std::size_t n_cycles,
+                             const SynthConfig& cfg, util::Rng* rng) {
+  if (f_ghz <= 0.0) throw std::invalid_argument("synthesize_clock: f must be > 0");
+  SynthConfig c = cfg;
+  c.rate_gbps = 2.0 * f_ghz;  // one half-period per "bit"
+  return synthesize_nrz(alternating(2 * n_cycles, 0), c, rng);
+}
+
+double rj_sigma_for_tj_pp(double tj_pp_ps, std::size_t n_edges) {
+  if (tj_pp_ps <= 0.0) return 0.0;
+  const double n = std::max<std::size_t>(n_edges, 8);
+  return tj_pp_ps / (2.0 * std::sqrt(2.0 * std::log(static_cast<double>(n))));
+}
+
+}  // namespace gdelay::sig

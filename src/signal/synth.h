@@ -1,0 +1,62 @@
+// Waveform synthesis: the "pattern generator" instrument.
+//
+// Replaces the paper's bench sources (a 7 Gb/s NRZ pattern generator and a
+// 6.8 GHz RZ clock source). Produces differential waveforms with
+// - tanh-shaped transitions of programmable 20-80 % rise time,
+// - per-edge Gaussian random jitter (RJ),
+// - optional sinusoidal deterministic jitter (DJ),
+// so a reference trace with any of the paper's quoted input TJ values can
+// be synthesized and fed through the circuit models.
+#pragma once
+
+#include <vector>
+
+#include "signal/pattern.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+
+namespace gdelay::sig {
+
+struct SynthConfig {
+  double rate_gbps = 6.4;     ///< NRZ bit rate.
+  double amplitude_v = 0.4;   ///< Differential levels are +/- amplitude_v.
+  double rise_time_ps = 30.0; ///< 20-80 % rise/fall time.
+  double dt_ps = 0.25;        ///< Sample spacing.
+  double lead_in_ps = 300.0;  ///< Settled time before the first bit edge.
+  double tail_ps = 300.0;     ///< Settled time after the last bit.
+  double rj_sigma_ps = 0.0;   ///< Gaussian per-edge random jitter (sigma).
+  double dj_pp_ps = 0.0;      ///< Sinusoidal deterministic jitter, pk-pk.
+  double dj_freq_ghz = 0.0137;///< DJ modulation frequency.
+
+  double unit_interval_ps() const { return 1000.0 / rate_gbps; }
+};
+
+struct SynthResult {
+  Waveform wf;
+  /// Nominal (jitter-free) transition instants, one per bit transition.
+  std::vector<double> ideal_edges_ps;
+  /// Actual (jittered) transition instants used during synthesis.
+  std::vector<double> actual_edges_ps;
+  double unit_interval_ps = 0.0;
+};
+
+/// NRZ waveform for a bit pattern. `rng` may be null when rj_sigma_ps == 0.
+SynthResult synthesize_nrz(const BitPattern& bits, const SynthConfig& cfg,
+                           util::Rng* rng = nullptr);
+
+/// Return-to-zero waveform: each 1 bit is a pulse `duty` of a UI wide.
+SynthResult synthesize_rz(const BitPattern& bits, const SynthConfig& cfg,
+                          double duty = 0.5, util::Rng* rng = nullptr);
+
+/// Square-wave clock at `f_ghz` for `n_cycles` cycles. Equivalent to NRZ
+/// alternating data at 2*f_ghz Gbps — the paper's "RZ clock" stimulus used
+/// to probe the circuit beyond the NRZ generator's rate limit.
+SynthResult synthesize_clock(double f_ghz, std::size_t n_cycles,
+                             const SynthConfig& cfg, util::Rng* rng = nullptr);
+
+/// RJ sigma that yields approximately the requested peak-to-peak total
+/// jitter when observed over `n_edges` edges (Gaussian order statistics:
+/// pp ~= 2 sigma sqrt(2 ln n)).
+double rj_sigma_for_tj_pp(double tj_pp_ps, std::size_t n_edges);
+
+}  // namespace gdelay::sig

@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gdelay::util {
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  if (column_names.size() != columns.size())
+    throw std::invalid_argument("write_csv: name/column count mismatch");
+  if (columns.empty()) throw std::invalid_argument("write_csv: no columns");
+  const std::size_t rows = columns.front().size();
+  for (const auto& c : columns)
+    if (c.size() != rows)
+      throw std::invalid_argument("write_csv: ragged columns");
+
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv: cannot open " + path);
+  f.precision(12);
+  for (std::size_t i = 0; i < column_names.size(); ++i)
+    f << (i ? "," : "") << column_names[i];
+  f << "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      f << (c ? "," : "") << columns[c][r];
+    f << "\n";
+  }
+  if (!f) throw std::runtime_error("write_csv: write failed");
+}
+
+void write_csv_xy(const std::string& path, const std::string& x_name,
+                  const std::vector<double>& xs, const std::string& y_name,
+                  const std::vector<double>& ys) {
+  write_csv(path, {x_name, y_name}, {xs, ys});
+}
+
+}  // namespace gdelay::util

@@ -1,0 +1,24 @@
+// Tiny CSV export for offline plotting of waveforms, curves and series.
+// No external dependencies; used by the benches when GDELAY_CSV_DIR is
+// set and available to library users for their own data.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdelay::util {
+
+/// Writes columns as CSV. All columns must have equal length.
+/// Throws std::invalid_argument on ragged input, std::runtime_error on
+/// I/O failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Two-column convenience.
+void write_csv_xy(const std::string& path, const std::string& x_name,
+                  const std::vector<double>& xs, const std::string& y_name,
+                  const std::vector<double>& ys);
+
+}  // namespace gdelay::util

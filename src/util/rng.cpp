@@ -1,0 +1,82 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace gdelay::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; splitmix64 cannot
+  // produce four consecutive zeros, but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::gaussian() {
+  if (cached_gaussian_) {
+    const double v = *cached_gaussian_;
+    cached_gaussian_.reset();
+    return v;
+  }
+  // Box-Muller; u1 in (0, 1] to keep the log finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = r * std::sin(2.0 * kPi * u2);
+  return r * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::gaussian(double mean, double sigma) {
+  return mean + sigma * gaussian();
+}
+
+bool Rng::bit() { return (next_u64() >> 63) != 0; }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Lemire-style rejection-free-enough reduction; bias is negligible for
+  // the n values used in simulation (<< 2^32).
+  return next_u64() % n;
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  const std::uint64_t seed = next_u64() ^ (0xa0761d6478bd642fULL * (stream + 1));
+  return Rng(seed);
+}
+
+}  // namespace gdelay::util

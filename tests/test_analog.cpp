@@ -1,0 +1,266 @@
+// Tests for the primitive analog elements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/coupling.h"
+#include "analog/element.h"
+#include "analog/primitives.h"
+#include "analog/tline.h"
+#include "signal/edges.h"
+#include "signal/waveform.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ga = gdelay::analog;
+namespace gs = gdelay::sig;
+using gdelay::util::Rng;
+
+namespace {
+constexpr double kDt = 0.25;
+
+gs::Waveform step_input(double level = 1.0, std::size_t n = 4000) {
+  gs::Waveform w(0.0, kDt, n);
+  for (std::size_t i = n / 4; i < n; ++i) w[i] = level;
+  return w;
+}
+}  // namespace
+
+TEST(SinglePoleFilter, TimeConstant) {
+  ga::SinglePoleFilter f(1.0);  // 1 GHz -> tau ~= 159.15 ps
+  EXPECT_NEAR(f.tau_ps(), 159.15, 0.1);
+  const auto out = f.process(step_input(1.0, 12000));  // 3 ns span
+  // After exactly one tau from the step, output = 1 - e^-1.
+  const double t_step = 3000.0 * kDt;  // n/4 * dt
+  EXPECT_NEAR(out.value_at(t_step + f.tau_ps()), 1.0 - std::exp(-1.0), 0.01);
+  // Settles eventually (>= 14 tau of headroom).
+  EXPECT_NEAR(out[out.size() - 1], 1.0, 1e-3);
+}
+
+TEST(SinglePoleFilter, DtInvariance) {
+  // Exact discretization: halving dt must not change the response shape.
+  ga::SinglePoleFilter f1(2.0), f2(2.0);
+  double y1 = 0.0, y2 = 0.0;
+  for (int i = 0; i < 100; ++i) y1 = f1.step(1.0, 1.0);
+  for (int i = 0; i < 200; ++i) y2 = f2.step(1.0, 0.5);
+  EXPECT_NEAR(y1, y2, 1e-9);
+}
+
+TEST(SinglePoleFilter, RejectsBadBandwidth) {
+  EXPECT_THROW(ga::SinglePoleFilter(0.0), std::invalid_argument);
+}
+
+TEST(SlewRateLimiter, RampSlope) {
+  ga::SlewRateLimiter s(0.01);  // 10 mV/ps
+  const auto out = s.process(step_input(1.0));
+  // Find the ramp and check its slope.
+  const double t_step = 1000.0 * kDt;
+  EXPECT_NEAR(out.value_at(t_step + 50.0), 0.5, 0.01);
+  EXPECT_NEAR(out.value_at(t_step + 100.0), 1.0, 0.01);
+}
+
+TEST(SlewRateLimiter, PassesSlowSignals) {
+  ga::SlewRateLimiter s(1.0);  // very fast
+  auto in = gs::Waveform::from_function(0.0, kDt, 1000, [](double t) {
+    return 0.3 * std::sin(2.0 * gdelay::util::kPi * t / 500.0);
+  });
+  const auto out = s.process(in);
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], in[i], 1e-6);
+}
+
+TEST(SlewRateLimiter, LinearRegionSettlesExponentially) {
+  // With tau_lin, a small step (below S * tau_lin) never hits the slew
+  // clamp and settles like a one-pole.
+  ga::SlewRateLimiter s(0.01, 20.0);
+  double y = s.step(0.0, 0.25);  // first sample snaps to the input (0)
+  for (int i = 0; i < 80; ++i) y = s.step(0.1, 0.25);  // 20 ps elapsed
+  EXPECT_NEAR(y, 0.1 * (1.0 - std::exp(-1.0)), 0.01);
+}
+
+TEST(SlewRateLimiter, FirstSampleSnaps) {
+  ga::SlewRateLimiter s(0.001);
+  EXPECT_DOUBLE_EQ(s.step(0.7, 0.25), 0.7);
+}
+
+TEST(TanhLimiter, SmallSignalGain) {
+  ga::TanhLimiter t(3.0, 0.5);
+  EXPECT_NEAR(t.step(0.01, kDt), 0.03, 1e-4);
+}
+
+TEST(TanhLimiter, Saturates) {
+  ga::TanhLimiter t(3.0, 0.5);
+  EXPECT_LT(t.step(10.0, kDt), 0.5 + 1e-9);
+  EXPECT_GT(t.step(-10.0, kDt), -0.5 - 1e-9);
+  EXPECT_NEAR(t.step(10.0, kDt), 0.5, 1e-6);
+}
+
+TEST(GainStage, Scales) {
+  ga::GainStage g(2.5);
+  EXPECT_DOUBLE_EQ(g.step(0.2, kDt), 0.5);
+  g.set_gain(-1.0);
+  EXPECT_DOUBLE_EQ(g.step(0.2, kDt), -0.2);
+}
+
+TEST(NoiseAdder, DensityScalesWithDt) {
+  // sigma_sample = density / sqrt(dt): statistics check at two dts.
+  for (double dt : {0.25, 1.0}) {
+    ga::NoiseAdder n(0.01, Rng(5));
+    double sq = 0.0;
+    const int count = 20000;
+    for (int i = 0; i < count; ++i) {
+      const double v = n.step(0.0, dt);
+      sq += v * v;
+    }
+    const double sd = std::sqrt(sq / count);
+    EXPECT_NEAR(sd, 0.01 / std::sqrt(dt), 0.002);
+  }
+}
+
+TEST(NoiseAdder, ZeroDensityIsTransparent) {
+  ga::NoiseAdder n(0.0, Rng(5));
+  EXPECT_DOUBLE_EQ(n.step(0.123, kDt), 0.123);
+}
+
+TEST(FractionalDelay, IntegerDelay) {
+  ga::FractionalDelay d(5.0);
+  // Feed a ramp at dt=1: output must be input delayed by exactly 5.
+  std::vector<double> out;
+  for (int i = 0; i < 20; ++i) out.push_back(d.step(static_cast<double>(i), 1.0));
+  for (int i = 6; i < 20; ++i) EXPECT_NEAR(out[static_cast<std::size_t>(i)], i - 5.0, 1e-9);
+}
+
+TEST(FractionalDelay, SubSampleDelay) {
+  ga::FractionalDelay d(2.5);
+  std::vector<double> out;
+  for (int i = 0; i < 20; ++i) out.push_back(d.step(static_cast<double>(i), 1.0));
+  for (int i = 4; i < 20; ++i) EXPECT_NEAR(out[static_cast<std::size_t>(i)], i - 2.5, 1e-9);
+}
+
+TEST(FractionalDelay, ZeroDelayPassesThrough) {
+  ga::FractionalDelay d(0.0);
+  EXPECT_DOUBLE_EQ(d.step(0.42, 0.25), 0.42);
+  EXPECT_DOUBLE_EQ(d.step(0.43, 0.25), 0.43);
+}
+
+TEST(FractionalDelay, EdgeTimingThroughWaveform) {
+  // A synthesized edge through a 33 ps line shifts by exactly 33 ps.
+  ga::FractionalDelay d(33.0);
+  auto in = step_input(0.8);
+  in.scale(1.0, -0.4);  // center around 0
+  const auto out = d.process(in);
+  const auto ei = gs::extract_edges(in);
+  const auto eo = gs::extract_edges(out);
+  ASSERT_EQ(ei.size(), 1u);
+  ASSERT_EQ(eo.size(), 1u);
+  EXPECT_NEAR(eo[0].t_ps - ei[0].t_ps, 33.0, 0.01);
+}
+
+TEST(Cascade, ChainsElements) {
+  ga::Cascade c;
+  c.emplace<ga::GainStage>(2.0);
+  c.emplace<ga::GainStage>(3.0);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.step(1.0, kDt), 6.0);
+}
+
+TEST(TransmissionLine, DelayAndLoss) {
+  ga::TransmissionLineConfig cfg;
+  cfg.delay_ps = 66.0;
+  cfg.loss_db = 6.0206;  // factor 0.5
+  ga::TransmissionLine t(cfg);
+  auto in = step_input(0.8);
+  in.scale(1.0, -0.4);
+  const auto out = t.process(in);
+  const auto ei = gs::extract_edges(in);
+  const auto eo = gs::extract_edges(out);
+  ASSERT_EQ(eo.size(), 1u);
+  EXPECT_NEAR(eo[0].t_ps - ei[0].t_ps, 66.0, 0.01);
+  EXPECT_NEAR(out[out.size() - 1], 0.2, 1e-3);  // 0.4 * 0.5
+}
+
+TEST(TransmissionLine, DispersionSlowsEdge) {
+  ga::TransmissionLineConfig fast;
+  fast.delay_ps = 10.0;
+  ga::TransmissionLineConfig slow = fast;
+  slow.dispersion_f3db_ghz = 3.0;
+  auto in = step_input(0.8);
+  in.scale(1.0, -0.4);
+  const auto of = ga::TransmissionLine(fast).process(in);
+  const auto os = ga::TransmissionLine(slow).process(in);
+  // Dispersion delays the 50 % point further and rounds the edge.
+  const auto ef = gs::extract_edges(of);
+  const auto es = gs::extract_edges(os);
+  ASSERT_EQ(ef.size(), 1u);
+  ASSERT_EQ(es.size(), 1u);
+  EXPECT_GT(es[0].t_ps, ef[0].t_ps + 10.0);
+}
+
+TEST(TraceLoss, ScalesWithLength) {
+  EXPECT_DOUBLE_EQ(ga::trace_loss_db(0.0, 1.2), 0.0);
+  EXPECT_DOUBLE_EQ(ga::trace_loss_db(100.0, 1.2), 1.2);
+  EXPECT_DOUBLE_EQ(ga::trace_loss_db(50.0, 1.2), 0.6);
+}
+
+TEST(AcCoupler, BlocksDc) {
+  ga::AcCoupler c(0.01);
+  double y = 1.0;
+  for (int i = 0; i < 400000; ++i) y = c.step(1.0, 1.0);
+  EXPECT_NEAR(y, 0.0, 1e-3);
+}
+
+TEST(AcCoupler, PassesFastEdges) {
+  ga::AcCoupler c(0.001);  // 1 MHz corner: ~transparent at GHz
+  c.step(0.0, 0.25);
+  const double y = c.step(0.5, 0.25);  // step of 0.5 passes through
+  EXPECT_NEAR(y, 0.5, 0.01);
+}
+
+TEST(AcCoupler, StartsSettled) {
+  ga::AcCoupler c(0.01);
+  EXPECT_DOUBLE_EQ(c.step(5.0, 0.25), 0.0);  // DC at t=0 -> no kick
+}
+
+TEST(Attenuator, Factor) {
+  ga::Attenuator a(6.0206);
+  EXPECT_NEAR(a.factor(), 0.5, 1e-4);
+  EXPECT_NEAR(a.step(0.8, kDt), 0.4, 1e-4);
+  EXPECT_THROW(ga::Attenuator(-1.0), std::invalid_argument);
+}
+
+TEST(NoiseSource, SigmaIndependentOfBandwidthAndDt) {
+  for (double bw : {0.3, 3.0}) {
+    for (double dt : {0.25, 1.0}) {
+      ga::NoiseSource n(0.15, bw, Rng(17));
+      double sq = 0.0;
+      const int count = 200000;
+      for (int i = 0; i < count; ++i) {
+        const double v = n.step(dt);
+        sq += v * v;
+      }
+      EXPECT_NEAR(std::sqrt(sq / count), 0.15, 0.015)
+          << "bw=" << bw << " dt=" << dt;
+    }
+  }
+}
+
+TEST(NoiseSource, BandLimitingCorrelatesSamples) {
+  // Lag-1 autocorrelation at dt << 1/bw must be high.
+  ga::NoiseSource n(1.0, 0.3, Rng(21));
+  double prev = n.step(0.25);
+  double c01 = 0.0, c00 = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double cur = n.step(0.25);
+    c01 += prev * cur;
+    c00 += prev * prev;
+    prev = cur;
+  }
+  EXPECT_GT(c01 / c00, 0.9);
+}
+
+TEST(NoiseSource, WaveformRender) {
+  ga::NoiseSource n(0.1, 1.0, Rng(2));
+  const auto wf = n.waveform(0.0, 0.5, 100);
+  EXPECT_EQ(wf.size(), 100u);
+  EXPECT_GT(wf.peak_to_peak(), 0.0);
+}

@@ -1,0 +1,190 @@
+// Tests for the ATE substrate: channels, bus, DUT receiver, and the
+// end-to-end deskew controller loop (the Fig. 2 scenario).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ate/ate_channel.h"
+#include "ate/bus.h"
+#include "ate/controller.h"
+#include "ate/dut.h"
+#include "core/requirements.h"
+#include "measure/delay_meter.h"
+#include "signal/edges.h"
+#include "util/rng.h"
+
+namespace ga = gdelay::ate;
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+TEST(AteChannel, LaunchOffsetCombinesSkewAndSteps) {
+  ga::AteChannelConfig cfg;
+  cfg.static_skew_ps = 37.0;
+  cfg.programmable_step_ps = 100.0;
+  ga::AteChannel ch(cfg, Rng(1));
+  EXPECT_DOUBLE_EQ(ch.launch_offset_ps(), 37.0);
+  ch.program_delay_steps(-1);
+  EXPECT_DOUBLE_EQ(ch.launch_offset_ps(), -63.0);
+}
+
+TEST(AteChannel, StepsForRounds) {
+  ga::AteChannelConfig cfg;
+  ga::AteChannel ch(cfg, Rng(1));
+  EXPECT_EQ(ch.steps_for(37.0), 0);
+  EXPECT_EQ(ch.steps_for(70.0), 1);
+  EXPECT_EQ(ch.steps_for(-149.0), -1);
+  EXPECT_EQ(ch.steps_for(-151.0), -2);
+}
+
+TEST(AteChannel, DriveAppliesSkewToEdges) {
+  ga::AteChannelConfig cfg;
+  cfg.static_skew_ps = 80.0;
+  cfg.rj_sigma_ps = 0.0;
+  ga::AteChannel ch(cfg, Rng(2));
+  const auto r = ch.drive(gs::prbs(7, 32));
+  ASSERT_FALSE(r.ideal_edges_ps.empty());
+  // Actual edges lag the (unskewed) ideal grid by the skew.
+  for (std::size_t i = 0; i < r.ideal_edges_ps.size(); ++i)
+    EXPECT_NEAR(r.actual_edges_ps[i] - r.ideal_edges_ps[i], 80.0, 1e-9);
+}
+
+TEST(AteBus, DrawsSkewsWithinSpan) {
+  ga::AteBusConfig cfg;
+  cfg.n_channels = 8;
+  cfg.skew_span_ps = 300.0;
+  ga::AteBus bus(cfg, Rng(3));
+  for (int i = 0; i < bus.n_channels(); ++i) {
+    EXPECT_LE(std::abs(bus.channel(i).static_skew_ps()), 150.0);
+  }
+  EXPECT_GT(bus.launch_skew_span_ps(), 0.0);
+  EXPECT_LE(bus.launch_skew_span_ps(), 300.0);
+}
+
+TEST(AteBus, NativeDeskewLeavesQuantizationResidue) {
+  // The paper's motivation: the ATE's own deskew (100 ps steps) cannot do
+  // better than +/- half a step.
+  ga::AteBusConfig cfg;
+  cfg.n_channels = 8;
+  cfg.skew_span_ps = 400.0;
+  ga::AteBus bus(cfg, Rng(4));
+  const double before = bus.launch_skew_span_ps();
+  bus.apply_native_deskew();
+  const double after = bus.launch_skew_span_ps();
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, 100.0 + 1e-9);  // within one step
+  EXPECT_GT(after, 5.0);           // but nowhere near ps-level
+}
+
+TEST(AteBus, DriveValidatesPatternCount) {
+  ga::AteBusConfig cfg;
+  cfg.n_channels = 2;
+  ga::AteBus bus(cfg, Rng(5));
+  EXPECT_THROW(bus.drive({gs::prbs(7, 8)}), std::invalid_argument);
+}
+
+TEST(DutReceiver, SamplesBitsAtStrobes) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const gs::BitPattern bits{1, 0, 1, 1, 0, 0, 1, 0};
+  const auto r = gs::synthesize_nrz(bits, sc);
+  ga::DutReceiver rx;
+  std::vector<double> strobes;
+  const double first_center = sc.lead_in_ps + 0.5 * r.unit_interval_ps;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    strobes.push_back(first_center + r.unit_interval_ps * static_cast<double>(i));
+  const auto res = rx.sample(r.wf, strobes);
+  EXPECT_EQ(res.bits, bits);
+  EXPECT_EQ(res.violations, 0u);
+}
+
+TEST(DutReceiver, FlagsSetupHoldViolations) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto r = gs::synthesize_nrz(gs::alternating(16), sc);
+  ga::DutReceiverConfig cfg;
+  cfg.setup_ps = 20.0;
+  cfg.hold_ps = 20.0;
+  ga::DutReceiver rx(cfg);
+  // Strobe exactly on the edges: every strobe violates.
+  std::vector<double> strobes;
+  for (int i = 1; i < 8; ++i)
+    strobes.push_back(sc.lead_in_ps + r.unit_interval_ps * i);
+  const auto res = rx.sample(r.wf, strobes);
+  EXPECT_EQ(res.violations, strobes.size());
+}
+
+TEST(DutReceiver, BestAlignmentToleratesLatencyShift) {
+  const gs::BitPattern expected{1, 0, 1, 1, 0, 0, 1, 0, 1, 1};
+  gs::BitPattern got(expected.begin() + 2, expected.end());  // shifted by 2
+  got.push_back(0);
+  got.push_back(1);
+  EXPECT_EQ(ga::DutReceiver::best_alignment_errors(got, expected), 0u);
+}
+
+TEST(DutReceiver, PhaseScanFindsOpenWindow) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto bits = gs::prbs(7, 48);
+  const auto r = gs::synthesize_nrz(bits, sc);
+  ga::DutReceiver rx;
+  const auto scan = rx.scan_phase(r.wf, bits, r.unit_interval_ps,
+                                  sc.lead_in_ps, 40, 32);
+  // Clean signal: a wide open window (most of the UI minus setup/hold).
+  EXPECT_GT(scan.window_ps, 0.5 * r.unit_interval_ps);
+  EXPECT_EQ(scan.points.size(), 32u);
+}
+
+TEST(DutReceiver, IntersectionShrinksWindow) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto bits = gs::prbs(7, 48);
+  const auto a = gs::synthesize_nrz(bits, sc);
+  ga::DutReceiver rx;
+  const double ui = a.unit_interval_ps;
+  const auto sa = rx.scan_phase(a.wf, bits, ui, sc.lead_in_ps, 40, 32);
+  // Second channel shifted by half a UI: individually open, jointly
+  // nearly closed.
+  const auto sb = rx.scan_phase(a.wf.shifted(ui / 2.0), bits, ui,
+                                sc.lead_in_ps, 40, 32);
+  const auto both = ga::intersect_scans({sa, sb}, ui);
+  EXPECT_LT(both.window_ps, std::min(sa.window_ps, sb.window_ps) * 0.6);
+}
+
+TEST(DeskewController, EndToEndMeetsSkewRequirement) {
+  // The headline application: a 4-lane 6.4 Gbps bus with +/-100 ps skew,
+  // deskewed to < 5 ps channel-to-channel through the delay channels.
+  ga::AteBusConfig bc;
+  bc.n_channels = 4;
+  bc.rate_gbps = 6.4;
+  bc.skew_span_ps = 120.0;  // within the 140 ps corrector range
+  bc.rj_sigma_ps = 0.8;
+  ga::AteBus bus(bc, Rng(11));
+
+  std::vector<gc::VariableDelayChannel> delays;
+  Rng rng(12);
+  for (int i = 0; i < bc.n_channels; ++i)
+    delays.emplace_back(gc::ChannelConfig::prototype(),
+                        rng.fork(static_cast<std::uint64_t>(i)));
+
+  ga::DeskewController::Options opt;
+  opt.training = gs::prbs(7, 96);
+  opt.calibration.n_vctrl_points = 9;
+  ga::DeskewController ctl(bus, delays, opt);
+  const auto rep = ctl.run();
+
+  EXPECT_GT(rep.span_before_ps, 30.0);
+  EXPECT_TRUE(rep.plan.feasible);
+  EXPECT_LT(rep.span_after_ps, gc::Requirements::kChannelSkewPs);
+  EXPECT_LT(rep.span_after_ps, rep.span_before_ps / 5.0);
+}
+
+TEST(DeskewController, RequiresMatchingChannelCount) {
+  ga::AteBusConfig bc;
+  bc.n_channels = 2;
+  ga::AteBus bus(bc, Rng(1));
+  std::vector<gc::VariableDelayChannel> delays;
+  delays.emplace_back(gc::ChannelConfig{}, Rng(2));
+  EXPECT_THROW(ga::DeskewController(bus, delays), std::invalid_argument);
+}

@@ -1,0 +1,211 @@
+// Tests for process variation, the multi-channel board, thermal drift,
+// and calibration persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/board.h"
+#include "core/cal_io.h"
+#include "core/drift.h"
+#include "core/variation.h"
+#include "measure/delay_meter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+namespace {
+gs::SynthResult stim(double rate = 3.2, std::size_t bits = 64) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = rate;
+  return gs::synthesize_nrz(gs::prbs(7, bits), sc);
+}
+}  // namespace
+
+TEST(ProcessVariation, Deterministic) {
+  gc::ProcessVariation v;
+  Rng a(5), b(5);
+  const auto ca = v.apply(gc::ChannelConfig::prototype(), a);
+  const auto cb = v.apply(gc::ChannelConfig::prototype(), b);
+  EXPECT_DOUBLE_EQ(ca.fine.stage.slew_v_per_ps, cb.fine.stage.slew_v_per_ps);
+  EXPECT_DOUBLE_EQ(ca.coarse.tap_error_ps[2], cb.coarse.tap_error_ps[2]);
+}
+
+TEST(ProcessVariation, InstancesDiffer) {
+  gc::ProcessVariation v;
+  Rng rng(5);
+  const auto a = v.apply(gc::ChannelConfig::prototype(), rng);
+  const auto b = v.apply(gc::ChannelConfig::prototype(), rng);
+  EXPECT_NE(a.fine.stage.slew_v_per_ps, b.fine.stage.slew_v_per_ps);
+}
+
+TEST(ProcessVariation, ScatterIsBounded) {
+  gc::ProcessVariation v;
+  Rng rng(7);
+  const auto nominal = gc::ChannelConfig::prototype();
+  for (int i = 0; i < 50; ++i) {
+    const auto c = v.apply(nominal, rng);
+    // +/- 3 sigma clamp on a 4 % parameter.
+    EXPECT_NEAR(c.fine.stage.slew_v_per_ps, nominal.fine.stage.slew_v_per_ps,
+                0.13 * nominal.fine.stage.slew_v_per_ps);
+    EXPECT_GT(c.fine.stage.amp_max_v, c.fine.stage.amp_min_v);
+    // Tap 0 stays the reference plane.
+    EXPECT_DOUBLE_EQ(c.coarse.tap_error_ps[0], 0.0);
+    for (std::size_t t = 0; t < 4; ++t)
+      EXPECT_GE(c.coarse.tap_delay_ps[t] + c.coarse.tap_error_ps[t], 0.0);
+  }
+}
+
+TEST(ProcessVariation, SlowCornerReducesRange) {
+  const auto nominal = gc::ChannelConfig::prototype();
+  const auto slow = gc::ProcessVariation::slow_corner(nominal, 3.0);
+  EXPECT_LT(slow.fine.stage.slew_v_per_ps, nominal.fine.stage.slew_v_per_ps);
+  EXPECT_LT(slow.fine.stage.amp_max_v - slow.fine.stage.amp_min_v,
+            nominal.fine.stage.amp_max_v - nominal.fine.stage.amp_min_v);
+}
+
+TEST(DelayBoard, RejectsBadConfig) {
+  gc::DelayBoardConfig cfg;
+  cfg.n_channels = 0;
+  EXPECT_THROW(gc::DelayBoard(cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(DelayBoard, RequiresCalibrationBeforeProgramming) {
+  gc::DelayBoardConfig cfg;
+  cfg.n_channels = 2;
+  gc::DelayBoard board(cfg, Rng(2));
+  EXPECT_THROW(board.program(0, 50.0), std::logic_error);
+  EXPECT_THROW(board.common_range_ps(), std::logic_error);
+}
+
+TEST(DelayBoard, FourChannelCalibrateAndProgram) {
+  // The paper's 4-channel version: each channel carries its own process
+  // scatter, yet after calibration each realizes the same requested
+  // delay to ~1 ps.
+  const auto s = stim();
+  gc::DelayBoardConfig cfg;
+  cfg.n_channels = 4;
+  gc::DelayBoard board(cfg, Rng(3));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 9;
+  board.calibrate(s.wf, o);
+  EXPECT_GT(board.common_range_ps(), 120.0);
+
+  const auto settings = board.program_all(60.0);
+  ASSERT_EQ(settings.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto out = board.channel(i).process(s.wf);
+    const double rel = gm::measure_delay(s.wf, out).mean_ps -
+                       board.calibrations()[static_cast<std::size_t>(i)]
+                           .base_latency_ps;
+    EXPECT_NEAR(rel, 60.0, 1.5) << "channel " << i;
+  }
+}
+
+TEST(DelayBoard, CalibrationAbsorbsVariation) {
+  // Without calibration, instances land at visibly different latencies;
+  // the calibrations must reflect that spread.
+  const auto s = stim();
+  gc::DelayBoardConfig cfg;
+  cfg.n_channels = 4;
+  gc::DelayBoard board(cfg, Rng(4));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 7;
+  const auto& cals = board.calibrate(s.wf, o);
+  double lo = 1e300, hi = -1e300;
+  for (const auto& c : cals) {
+    lo = std::min(lo, c.base_latency_ps);
+    hi = std::max(hi, c.base_latency_ps);
+  }
+  EXPECT_GT(hi - lo, 2.0);  // raw channels are NOT matched...
+  // ...but each channel's own model still predicts its own hardware.
+}
+
+TEST(ThermalDrift, ShiftsParametersMonotonically) {
+  gc::ThermalDrift drift;
+  const auto nominal = gc::ChannelConfig::prototype();
+  const auto hot = drift.apply(nominal, 40.0);
+  EXPECT_LT(hot.fine.stage.slew_v_per_ps, nominal.fine.stage.slew_v_per_ps);
+  EXPECT_LT(hot.fine.stage.amp_max_v, nominal.fine.stage.amp_max_v);
+  EXPECT_GT(hot.coarse.tap_error_ps[3], nominal.coarse.tap_error_ps[3]);
+  // Zero offset is the identity.
+  const auto same = drift.apply(nominal, 0.0);
+  EXPECT_DOUBLE_EQ(same.fine.stage.slew_v_per_ps,
+                   nominal.fine.stage.slew_v_per_ps);
+}
+
+TEST(ThermalDrift, ChangesRealizedDelay) {
+  // A hot channel programmed with a cold calibration misses the target.
+  const auto s = stim();
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 7;
+  gc::VariableDelayChannel cold(gc::ChannelConfig::prototype(), Rng(6));
+  const auto cal = gc::DelayCalibrator(o).calibrate(cold, s.wf);
+  const auto set = cal.plan(70.0);
+
+  gc::ThermalDrift drift;
+  gc::VariableDelayChannel hot(
+      drift.apply(gc::ChannelConfig::prototype(), 40.0), Rng(6));
+  hot.select_tap(set.tap);
+  hot.set_vctrl(set.vctrl_v);
+  const double rel =
+      gm::measure_delay(s.wf, hot.process(s.wf)).mean_ps -
+      cal.base_latency_ps;
+  EXPECT_GT(std::abs(rel - 70.0), 2.0);  // visible miss without recal
+}
+
+TEST(CalIo, RoundTripExact) {
+  gc::ChannelCalibration cal;
+  cal.fine_curve = gdelay::util::Curve({0.0, 0.7, 1.5}, {0.0, 24.5, 52.25});
+  cal.tap_offset_ps = {0.0, 33.1, 69.9, 95.2};
+  cal.base_latency_ps = 324.875;
+  cal.dac = gc::Dac(12, 1.5);
+  const auto text = gc::calibration_to_text(cal);
+  const auto back = gc::calibration_from_text(text);
+  EXPECT_DOUBLE_EQ(back.base_latency_ps, cal.base_latency_ps);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(back.tap_offset_ps[static_cast<std::size_t>(i)],
+                     cal.tap_offset_ps[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(back.dac.bits(), 12);
+  EXPECT_DOUBLE_EQ(back.fine_curve(0.35), cal.fine_curve(0.35));
+  // Planning from the reloaded table gives identical settings.
+  const auto a = cal.plan(40.0);
+  const auto b = back.plan(40.0);
+  EXPECT_EQ(a.tap, b.tap);
+  EXPECT_EQ(a.dac_code, b.dac_code);
+}
+
+TEST(CalIo, RejectsMalformedInput) {
+  EXPECT_THROW(gc::calibration_from_text(""), std::runtime_error);
+  EXPECT_THROW(gc::calibration_from_text("bogus 1"), std::runtime_error);
+  EXPECT_THROW(gc::calibration_from_text("gdelay_calibration 2"),
+               std::runtime_error);
+  EXPECT_THROW(
+      gc::calibration_from_text("gdelay_calibration 1\nunknown_key 3"),
+      std::runtime_error);
+  // Missing fields.
+  EXPECT_THROW(gc::calibration_from_text(
+                   "gdelay_calibration 1\nbase_latency_ps 10\n"),
+               std::runtime_error);
+}
+
+TEST(CalIo, FileRoundTrip) {
+  gc::ChannelCalibration cal;
+  cal.fine_curve = gdelay::util::Curve({0.0, 1.5}, {0.0, 50.0});
+  cal.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  cal.base_latency_ps = 300.0;
+  const auto path =
+      (std::filesystem::temp_directory_path() / "gdelay_cal_test.txt")
+          .string();
+  gc::save_calibration(path, cal);
+  const auto back = gc::load_calibration(path);
+  EXPECT_DOUBLE_EQ(back.base_latency_ps, 300.0);
+  std::filesystem::remove(path);
+  EXPECT_THROW(gc::load_calibration("/nonexistent/dir/cal.txt"),
+               std::runtime_error);
+}

@@ -1,0 +1,91 @@
+// Tests for the clock-phase-shifter baseline (the intro's conventional
+// solution) and the new SerDes stress patterns.
+#include <gtest/gtest.h>
+
+#include "core/clock_shifter.h"
+#include "measure/delay_meter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+namespace {
+gc::ClockPhaseShifterConfig quiet(double period = 156.25) {
+  gc::ClockPhaseShifterConfig c;
+  c.period_ps = period;
+  c.phase_noise_rms_ps = 0.0;
+  return c;
+}
+}  // namespace
+
+TEST(ClockPhaseShifter, Validation) {
+  gc::ClockPhaseShifterConfig c = quiet();
+  c.period_ps = 0.0;
+  EXPECT_THROW(gc::ClockPhaseShifter(c, Rng(1)), std::invalid_argument);
+  c = quiet();
+  c.phase_steps = 1;
+  EXPECT_THROW(gc::ClockPhaseShifter(c, Rng(1)), std::invalid_argument);
+}
+
+TEST(ClockPhaseShifter, PhaseWrapsAndQuantizes) {
+  gc::ClockPhaseShifter s(quiet(100.0), Rng(1));
+  s.set_phase_ps(130.0);
+  EXPECT_NEAR(s.phase_ps(), 30.0, s.step_ps() / 2.0 + 1e-12);
+  s.set_phase_ps(-20.0);
+  EXPECT_NEAR(s.phase_ps(), 80.0, s.step_ps() / 2.0 + 1e-12);
+  EXPECT_NEAR(s.step_ps(), 100.0 / 128.0, 1e-12);
+}
+
+TEST(ClockPhaseShifter, ShiftsClockByProgrammedPhase) {
+  gs::SynthConfig sc;
+  const auto clk = gs::synthesize_clock(3.2, 60, sc);  // period 312.5 ps
+  gc::ClockPhaseShifter s(quiet(312.5), Rng(2));
+  s.set_phase_ps(40.0);
+  const auto out = s.process(clk.wf);
+  const double d =
+      gm::measure_phase_delay(clk.wf, out, clk.unit_interval_ps);
+  // Delay mod half-period (edges every half period): 40 ps directly.
+  EXPECT_NEAR(d, 40.0, s.step_ps());
+}
+
+TEST(ClockPhaseShifter, SubPsQuantization) {
+  gc::ClockPhaseShifterConfig c = quiet();
+  c.phase_steps = 64;  // ~2.4 ps steps: typical DLL interpolator
+  gc::ClockPhaseShifter s(c, Rng(3));
+  s.set_phase_ps(5.0);
+  // The requested 5 ps lands on the nearest 2.44 ps grid point.
+  EXPECT_NEAR(s.phase_ps(), 4.88, 0.01);
+}
+
+TEST(Pattern, K285Structure) {
+  const auto p = gs::k285(4);
+  ASSERT_EQ(p.size(), 40u);
+  // Alternating disparity: second codeword is the complement of the first.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)],
+                                         1 - p[static_cast<std::size_t>(i) + 10]);
+  // Balanced over a disparity pair.
+  EXPECT_EQ(gs::popcount({p.begin(), p.begin() + 20}), 10u);
+  // Contains a 5-run (the comma).
+  EXPECT_EQ(gs::longest_run(p), 5u);
+}
+
+TEST(Pattern, RunLengthStress) {
+  const auto p = gs::run_length_stress(64, 8);
+  EXPECT_EQ(p.size(), 64u);
+  EXPECT_EQ(gs::longest_run(p), 8u);
+  // Half the segments toggle at full rate: plenty of transitions.
+  EXPECT_GT(gs::transition_count(p), 24u);
+  // run = 0 is coerced, not UB.
+  EXPECT_EQ(gs::run_length_stress(8, 0).size(), 8u);
+}
+
+TEST(Pattern, StressPatternsSynthesize) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  EXPECT_NO_THROW(gs::synthesize_nrz(gs::k285(12), sc));
+  EXPECT_NO_THROW(gs::synthesize_nrz(gs::run_length_stress(96), sc));
+}

@@ -1,0 +1,102 @@
+// Tests for the deskew planning engine (pure computation; the end-to-end
+// controller loop is covered in test_ate.cpp).
+#include <gtest/gtest.h>
+
+#include "core/deskew.h"
+#include "util/curve.h"
+
+namespace gc = gdelay::core;
+
+namespace {
+
+// Synthetic calibration: linear 0..55 ps fine curve over 1.5 V, ideal taps.
+gc::ChannelCalibration make_cal(double fine_range = 55.0) {
+  gc::ChannelCalibration cal;
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 10; ++i) {
+    xs.push_back(1.5 * i / 10.0);
+    ys.push_back(fine_range * i / 10.0);
+  }
+  cal.fine_curve = gdelay::util::Curve(xs, ys);
+  cal.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  cal.base_latency_ps = 300.0;
+  return cal;
+}
+
+}  // namespace
+
+TEST(DeskewEngine, ValidatesInput) {
+  EXPECT_THROW(gc::DeskewEngine::plan({}, {}), std::invalid_argument);
+  EXPECT_THROW(gc::DeskewEngine::plan({1.0}, {}), std::invalid_argument);
+}
+
+TEST(DeskewEngine, SingleChannelTrivial) {
+  const auto plan = gc::DeskewEngine::plan({100.0}, {make_cal()});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.residual_span_ps, 0.0, 0.5);
+}
+
+TEST(DeskewEngine, AlignsSkewedChannels) {
+  // Skews spanning 120 ps (within the ~154 ps range).
+  const std::vector<double> arrivals{300.0, 360.0, 420.0, 330.0};
+  const std::vector<gc::ChannelCalibration> cals(4, make_cal());
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.settings.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double predicted_arrival =
+        arrivals[i] + plan.settings[i].predicted_delay_ps;
+    EXPECT_NEAR(predicted_arrival, plan.target_arrival_ps, 0.2) << i;
+  }
+  EXPECT_LT(plan.residual_span_ps, 0.2);
+}
+
+TEST(DeskewEngine, TargetInsideFeasibleWindow) {
+  const std::vector<double> arrivals{0.0, 100.0};
+  const std::vector<gc::ChannelCalibration> cals(2, make_cal());
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  ASSERT_TRUE(plan.feasible);
+  // Window is [100, 154]: the midpoint leaves headroom both ways.
+  EXPECT_GT(plan.target_arrival_ps, 100.0);
+  EXPECT_LT(plan.target_arrival_ps, 154.0);
+}
+
+TEST(DeskewEngine, InfeasibleSpreadFlagged) {
+  // 300 ps of skew exceeds the ~154 ps range: no common arrival exists.
+  const std::vector<double> arrivals{0.0, 300.0};
+  const std::vector<gc::ChannelCalibration> cals(2, make_cal());
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  EXPECT_FALSE(plan.feasible);
+  // The engine still produces best-effort settings.
+  EXPECT_EQ(plan.settings.size(), 2u);
+  EXPECT_GT(plan.residual_span_ps, 100.0);
+}
+
+TEST(DeskewEngine, UsesCoarseTapsForLargeCorrections) {
+  const std::vector<double> arrivals{0.0, 120.0};
+  const std::vector<gc::ChannelCalibration> cals(2, make_cal());
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  ASSERT_TRUE(plan.feasible);
+  // Channel 0 needs > 100 ps of delay: must use a high tap.
+  EXPECT_GE(plan.settings[0].tap, 2);
+  EXPECT_EQ(plan.settings[1].tap, 0);
+}
+
+TEST(DeskewEngine, HeterogeneousCalibrations) {
+  // One channel has a smaller fine range; plan must respect it.
+  std::vector<gc::ChannelCalibration> cals{make_cal(55.0), make_cal(40.0)};
+  const std::vector<double> arrivals{10.0, 0.0};
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.residual_span_ps, 0.2);
+}
+
+TEST(DeskewEngine, DacQuantizationVisibleInSettings) {
+  const std::vector<double> arrivals{0.0, 17.3};
+  const std::vector<gc::ChannelCalibration> cals(2, make_cal());
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  for (const auto& s : plan.settings) {
+    EXPECT_LE(s.dac_code, 4095u);
+    EXPECT_NEAR(s.vctrl_v, cals[0].dac.voltage(s.dac_code), 1e-12);
+  }
+}

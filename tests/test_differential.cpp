@@ -1,0 +1,138 @@
+// Tests for differential P/N imbalance modeling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/buffer.h"
+#include "analog/differential.h"
+#include "measure/delay_meter.h"
+#include "measure/jitter.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace ga = gdelay::analog;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+namespace {
+gs::SynthResult stim(double rate = 3.2, std::size_t bits = 128) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = rate;
+  return gs::synthesize_nrz(gs::prbs(7, bits), sc);
+}
+}  // namespace
+
+TEST(Differential, BalancedPairIsTransparent) {
+  ga::DifferentialImbalance el(ga::DifferentialImbalanceConfig{});
+  const auto s = stim();
+  const auto out = el.process(s.wf);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out[i], s.wf[i], 1e-9);
+}
+
+TEST(Differential, RejectsAbsurdMismatch) {
+  ga::DifferentialImbalanceConfig c;
+  c.gain_mismatch_frac = 2.5;
+  EXPECT_THROW(ga::DifferentialImbalance{c}, std::invalid_argument);
+}
+
+TEST(Differential, LegSkewShiftsCrossingByHalf) {
+  // Delaying the P leg by S shifts the differential crossing by ~S/2.
+  ga::DifferentialImbalanceConfig c;
+  c.leg_skew_ps = 20.0;
+  ga::DifferentialImbalance el(c);
+  const auto s = stim();
+  const auto out = el.process(s.wf);
+  const auto ei = gs::extract_edges(s.wf);
+  const auto eo = gs::extract_edges(out);
+  ASSERT_EQ(ei.size(), eo.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ei.size(); ++i)
+    acc += eo[i].t_ps - ei[i].t_ps;
+  EXPECT_NEAR(acc / static_cast<double>(ei.size()), 10.0, 0.5);
+}
+
+TEST(Differential, LegSkewSoftensEdges) {
+  // With leg skew the edge becomes a two-step ramp: the 20-80 time grows
+  // by roughly the skew.
+  const auto s = stim(1.0, 8);  // slow rate, isolated edges
+  ga::DifferentialImbalanceConfig c;
+  c.leg_skew_ps = 60.0;
+  ga::DifferentialImbalance el(c);
+  const auto out = el.process(s.wf);
+  auto rise2080 = [](const gs::Waveform& w) {
+    double t20 = 0.0, t80 = 0.0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      if (w[i - 1] < -0.24 && w[i] >= -0.24) t20 = w.time_at(i);
+      if (w[i - 1] < 0.24 && w[i] >= 0.24) {
+        t80 = w.time_at(i);
+        break;
+      }
+    }
+    return t80 - t20;
+  };
+  EXPECT_GT(rise2080(out), rise2080(s.wf) + 20.0);
+}
+
+TEST(Differential, GainMismatchPlusOffsetMakesDcd) {
+  // An offset moves the zero crossing up the edge: rising and falling
+  // edges shift in opposite directions -> duty-cycle distortion, visible
+  // as a split between rising-only and falling-only grid phases.
+  ga::DifferentialImbalanceConfig c;
+  c.offset_v = 0.05;
+  ga::DifferentialImbalance el(c);
+  const auto s = stim(3.2, 200);
+  const auto out = el.process(s.wf);
+  const auto edges = gs::extract_edges(out);
+  const auto rise = gm::analyze_jitter(gs::rising_times(edges),
+                                       2.0 * s.unit_interval_ps);
+  const auto fall = gm::analyze_jitter(gs::falling_times(edges),
+                                       2.0 * s.unit_interval_ps);
+  double dcd = rise.grid_phase_ps - fall.grid_phase_ps;
+  while (dcd > s.unit_interval_ps) dcd -= 2.0 * s.unit_interval_ps;
+  while (dcd < -s.unit_interval_ps) dcd += 2.0 * s.unit_interval_ps;
+  // Offset / edge slope: 0.05 V at ~ (0.8 V / 30 ps) -> ~1.9 ps per edge,
+  // opposite signs -> ~3.7 ps of DCD.
+  EXPECT_GT(std::abs(dcd) + std::abs(std::abs(dcd) - s.unit_interval_ps),
+            2.0);  // nonzero split (allowing the UI-offset representation)
+  // The balanced pair shows none.
+  ga::DifferentialImbalance balanced(ga::DifferentialImbalanceConfig{});
+  const auto out_b = balanced.process(s.wf);
+  const auto eb = gs::extract_edges(out_b);
+  const auto rb = gm::analyze_jitter(gs::rising_times(eb),
+                                     2.0 * s.unit_interval_ps);
+  const auto fb = gm::analyze_jitter(gs::falling_times(eb),
+                                     2.0 * s.unit_interval_ps);
+  double dcd_b = std::fmod(rb.grid_phase_ps - fb.grid_phase_ps,
+                           2.0 * s.unit_interval_ps);
+  // Rising and falling sit exactly one UI apart on clean NRZ.
+  EXPECT_NEAR(std::abs(gm::wrap_delay(dcd_b - s.unit_interval_ps,
+                                      2.0 * s.unit_interval_ps)),
+              0.0, 0.5);
+}
+
+TEST(Differential, OffsetThroughLimiterBecomesDutyDistortion) {
+  // A common-mode-induced offset moves rising and falling crossings in
+  // opposite directions; the limiting buffer preserves that split, so the
+  // combined (all-edge) jitter analysis reports it as deterministic TJ.
+  // Pure leg skew, by contrast, shifts every edge equally -> no TJ.
+  const auto s = stim(6.4, 200);
+  auto run = [&](double skew, double offset) {
+    ga::DifferentialImbalanceConfig c;
+    c.leg_skew_ps = skew;
+    c.offset_v = offset;
+    ga::DifferentialImbalance el(c);
+    ga::LimitingBufferConfig lb;
+    lb.noise_sigma_v = 0.0;
+    ga::LimitingBuffer lim(lb, Rng(1));
+    auto mid = el.process(s.wf);
+    auto out = lim.process(mid);
+    return gm::measure_jitter(out, s.unit_interval_ps).tj_pp_ps;
+  };
+  const double clean = run(0.0, 0.0);
+  EXPECT_NEAR(run(40.0, 0.0), clean, 1.0);   // skew alone: uniform shift
+  EXPECT_GT(run(0.0, 0.06), clean + 2.0);    // offset: DCD shows as TJ
+}

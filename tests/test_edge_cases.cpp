@@ -1,0 +1,176 @@
+// Edge-case coverage across modules: error paths, boundary conditions
+// and accessor behaviour not exercised by the scenario tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ate/cdr.h"
+#include "ate/dut.h"
+#include "core/board.h"
+#include "core/cal_io.h"
+#include "core/channel.h"
+#include "measure/delay_meter.h"
+#include "measure/eye.h"
+#include "measure/freq_response.h"
+#include "measure/histogram.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/curve.h"
+#include "util/rng.h"
+
+namespace ga = gdelay::ate;
+namespace gc = gdelay::core;
+namespace gm = gdelay::meas;
+namespace gs = gdelay::sig;
+namespace gu = gdelay::util;
+using gdelay::util::Rng;
+
+TEST(EyeDiagramRaster, CountsLandInCorrectCells) {
+  // A constant +0.4 V waveform fills exactly the top row across columns.
+  gs::Waveform wf(0.0, 1.0, std::vector<double>(200, 0.4));
+  gm::EyeDiagram eye(50.0, -0.5, 0.5, 10, 10);
+  eye.accumulate(wf, 0.0, 0.0);
+  EXPECT_EQ(eye.total(), 200u);
+  std::size_t top = 0, rest = 0;
+  for (std::size_t c = 0; c < eye.cols(); ++c) {
+    top += eye.count(c, 8);  // 0.4 V -> bin floor((0.4+0.5)/0.1) = 9... row 9
+    top += eye.count(c, 9);
+    for (std::size_t r = 0; r < 8; ++r) rest += eye.count(c, r);
+  }
+  EXPECT_EQ(top, 200u);
+  EXPECT_EQ(rest, 0u);
+}
+
+TEST(EyeDiagramRaster, OutOfRangeSamplesDropped) {
+  gs::Waveform wf(0.0, 1.0, std::vector<double>(50, 2.0));  // above range
+  gm::EyeDiagram eye(50.0, -0.5, 0.5, 8, 8);
+  eye.accumulate(wf, 0.0, 0.0);
+  EXPECT_EQ(eye.total(), 0u);
+}
+
+TEST(HistogramEdge, ModeOnEmptyIsZero) {
+  gm::Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.mode_bin(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  // Ascii render of an empty histogram must not divide by zero.
+  EXPECT_NO_THROW(h.ascii());
+}
+
+TEST(CurveEdge, TwoPointCurve) {
+  gu::Curve c({0.0, 1.0}, {5.0, 15.0});
+  EXPECT_DOUBLE_EQ(c.mid_slope(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.invert(10.0), 0.5);
+  const auto m = c.monotonicized();
+  EXPECT_DOUBLE_EQ(m(0.5), 10.0);
+}
+
+TEST(CurveEdge, FlatCurveInvertsToMidpoint) {
+  gu::Curve c({0.0, 1.0, 2.0}, {3.0, 3.0, 3.0});
+  // Flat is both non-decreasing and non-increasing; inversion picks a
+  // well-defined point inside the domain.
+  const double x = c.invert(3.0);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 2.0);
+}
+
+TEST(PhaseDelayEdge, ThrowsWithoutEdges) {
+  gs::Waveform flat(0.0, 1.0, std::vector<double>(100, 0.3));
+  gs::SynthConfig sc;
+  const auto clk = gs::synthesize_clock(1.0, 10, sc);
+  EXPECT_THROW(gm::measure_phase_delay(clk.wf, flat, 500.0),
+               std::runtime_error);
+  EXPECT_THROW(gm::measure_phase_delay(clk.wf, clk.wf, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CalIoEdge, DecreasingCurveSurvivesRoundTrip) {
+  gc::ChannelCalibration cal;
+  cal.fine_curve = gu::Curve({0.0, 1.0, 1.5}, {50.0, 20.0, 0.0});
+  cal.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  cal.base_latency_ps = 100.0;
+  const auto back = gc::calibration_from_text(gc::calibration_to_text(cal));
+  EXPECT_TRUE(back.fine_curve.is_monotonic_decreasing());
+  EXPECT_DOUBLE_EQ(back.fine_curve.invert(20.0), 1.0);
+}
+
+TEST(BoardEdge, ProgramClampsOutOfRangeTargets) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 48), sc);
+  gc::DelayBoardConfig cfg;
+  cfg.n_channels = 1;
+  cfg.variation = gc::ProcessVariation{};
+  gc::DelayBoard board(cfg, Rng(9));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 5;
+  board.calibrate(stim.wf, o);
+  const auto lo = board.program(0, -100.0);
+  EXPECT_NEAR(lo.predicted_delay_ps, 0.0, 2.0);
+  const auto hi = board.program(0, 1e6);
+  EXPECT_NEAR(hi.predicted_delay_ps,
+              board.calibrations()[0].total_range_ps(), 2.0);
+  EXPECT_THROW(board.program(5, 10.0), std::out_of_range);
+}
+
+TEST(CdrEdge, TooFewEdgesThrows) {
+  ga::CdrConfig c;
+  c.ui_ps = 312.5;
+  ga::CdrReceiver rx(c);
+  gs::Waveform flat(0.0, 1.0, std::vector<double>(1000, -0.4));
+  EXPECT_THROW(rx.recover(flat, 0.0), std::runtime_error);
+}
+
+TEST(CdrEdge, IntegratesWithDelayChannel) {
+  // End to end: ATE-style data through the variable delay channel, then
+  // recovered by the CDR — zero errors at a mid-range setting.
+  const auto bits = gs::prbs(7, 256);
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(bits, sc);
+  gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(21));
+  ch.select_tap(2);
+  ch.set_vctrl(0.9);
+  const auto out = ch.process(stim.wf);
+  ga::CdrConfig cc;
+  cc.ui_ps = stim.unit_interval_ps;
+  ga::CdrReceiver rx(cc);
+  const auto res = rx.recover(out, 14000.0);
+  EXPECT_EQ(ga::DutReceiver::best_alignment_errors(res.bits, bits, 96), 0u);
+}
+
+TEST(FreqResponseEdge, F3dbNotReachedReturnsZero) {
+  std::vector<gm::FreqPoint> flat(3);
+  flat[0] = {1.0, 1.0, 0.0, 0.0, 0.0};
+  flat[1] = {2.0, 1.0, 0.0, 0.0, 0.0};
+  flat[2] = {4.0, 1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gm::f3db_from_response(flat), 0.0);
+  EXPECT_DOUBLE_EQ(gm::f3db_from_response({}), 0.0);
+}
+
+TEST(ExtractEdgesEdge, ConstantAndTinyWaveforms) {
+  gs::Waveform flat(0.0, 1.0, std::vector<double>(64, 0.2));
+  EXPECT_TRUE(gs::extract_edges(flat).empty());
+  gs::Waveform one(0.0, 1.0, std::vector<double>(1, 0.2));
+  EXPECT_TRUE(gs::extract_edges(one).empty());
+  gs::Waveform empty;
+  EXPECT_TRUE(gs::extract_edges(empty).empty());
+}
+
+TEST(SynthEdge, SingleBitPattern) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto r = gs::synthesize_nrz({1}, sc);
+  EXPECT_TRUE(r.ideal_edges_ps.empty());
+  EXPECT_NEAR(r.wf.max_value(), sc.amplitude_v, 0.01);
+  EXPECT_NEAR(r.wf.min_value(), sc.amplitude_v, 0.01);  // never goes low
+}
+
+TEST(DelayMeterEdge, IdenticalWaveformsGiveZero) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto r = gs::synthesize_nrz(gs::prbs(7, 32), sc);
+  const auto d = gm::measure_delay(r.wf, r.wf);
+  EXPECT_NEAR(d.mean_ps, 0.0, 1e-9);
+  EXPECT_NEAR(d.stddev_ps, 0.0, 1e-9);
+}

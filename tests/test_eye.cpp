@@ -1,0 +1,70 @@
+// Tests for the eye-diagram instrument.
+#include <gtest/gtest.h>
+
+#include "measure/eye.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gm = gdelay::meas;
+namespace gs = gdelay::sig;
+using gdelay::util::Rng;
+
+namespace {
+gs::SynthResult stim(double rj_sigma = 0.0, std::size_t bits = 200) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 4.8;
+  sc.rj_sigma_ps = rj_sigma;
+  Rng rng(5);
+  return gs::synthesize_nrz(gs::prbs(7, bits), sc,
+                            rj_sigma > 0.0 ? &rng : nullptr);
+}
+}  // namespace
+
+TEST(EyeDiagram, RejectsBadConfig) {
+  EXPECT_THROW(gm::EyeDiagram(0.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(gm::EyeDiagram(100.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(gm::EyeDiagram(100.0, -1.0, 1.0, 1, 8), std::invalid_argument);
+}
+
+TEST(EyeDiagram, AccumulatesSamples) {
+  const auto r = stim();
+  gm::EyeDiagram eye(r.unit_interval_ps, -0.5, 0.5, 48, 16);
+  eye.accumulate(r.wf);
+  EXPECT_GT(eye.total(), 1000u);
+}
+
+TEST(EyeDiagram, AsciiHasExpectedShape) {
+  const auto r = stim();
+  gm::EyeDiagram eye(r.unit_interval_ps, -0.5, 0.5, 48, 16);
+  eye.accumulate(r.wf);
+  const auto art = eye.ascii();
+  // 16 rows, each 48 wide + newline.
+  EXPECT_EQ(art.size(), 16u * 49u);
+  EXPECT_NE(art.find('@'), std::string::npos);  // dense rails
+}
+
+TEST(EyeMetrics, CleanEyeIsWideOpen) {
+  const auto r = stim();
+  const auto m = gm::measure_eye(r.wf, r.unit_interval_ps);
+  // No jitter: eye width ~ full UI, height ~ full swing.
+  EXPECT_GT(m.eye_width_ps, 0.95 * r.unit_interval_ps);
+  EXPECT_GT(m.eye_height_v, 0.7);
+  EXPECT_NEAR(m.level_high_v, 0.4, 0.03);
+  EXPECT_NEAR(m.level_low_v, -0.4, 0.03);
+}
+
+TEST(EyeMetrics, JitterClosesEyeHorizontally) {
+  const auto clean = stim(0.0);
+  const auto dirty = stim(3.0);
+  const auto mc = gm::measure_eye(clean.wf, clean.unit_interval_ps);
+  const auto md = gm::measure_eye(dirty.wf, dirty.unit_interval_ps);
+  EXPECT_LT(md.eye_width_ps, mc.eye_width_ps - 5.0);
+  EXPECT_GT(md.jitter.tj_pp_ps, mc.jitter.tj_pp_ps + 5.0);
+}
+
+TEST(EyeMetrics, WidthPlusTjIsUi) {
+  const auto r = stim(2.0);
+  const auto m = gm::measure_eye(r.wf, r.unit_interval_ps);
+  EXPECT_NEAR(m.eye_width_ps + m.jitter.tj_pp_ps, r.unit_interval_ps, 1e-9);
+}

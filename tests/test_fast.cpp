@@ -1,0 +1,121 @@
+// Tests for the edge-domain fast model and its fit against the analog one.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/calibration.h"
+#include "fast/edge_model.h"
+#include "measure/delay_meter.h"
+#include "measure/jitter.h"
+#include "measure/stats.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gc = gdelay::core;
+namespace gf = gdelay::fast;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+namespace {
+
+gf::EdgeModelParams synthetic_params() {
+  gf::EdgeModelParams p;
+  p.base_latency_ps = 300.0;
+  p.fine_curve = gdelay::util::Curve({0.0, 0.75, 1.5}, {0.0, 30.0, 55.0});
+  p.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  p.added_rj_sigma_ps = 0.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(FastChannel, RejectsEmptyCurve) {
+  gf::EdgeModelParams p;
+  p.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  EXPECT_THROW(gf::FastChannel(p, Rng(1)), std::invalid_argument);
+}
+
+TEST(FastChannel, LatencyComposition) {
+  gf::FastChannel ch(synthetic_params(), Rng(1));
+  ch.select_tap(2);
+  ch.set_vctrl(0.75);
+  EXPECT_NEAR(ch.latency_ps(), 300.0 + 66.0 + 30.0, 1e-9);
+  EXPECT_THROW(ch.select_tap(4), std::invalid_argument);
+}
+
+TEST(FastChannel, TransformShiftsEdges) {
+  gf::FastChannel ch(synthetic_params(), Rng(1));
+  ch.select_tap(1);
+  ch.set_vctrl(1.5);
+  const std::vector<double> in{100.0, 300.0, 450.0};
+  const auto out = ch.transform(in);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(out[i] - in[i], 300.0 + 33.0 + 55.0, 1e-9);
+}
+
+TEST(FastChannel, AddedJitterHasRequestedSigma) {
+  auto p = synthetic_params();
+  p.added_rj_sigma_ps = 2.0;
+  gf::FastChannel ch(p, Rng(2));
+  std::vector<double> in;
+  for (int i = 0; i < 4000; ++i) in.push_back(200.0 * i);
+  const auto out = ch.transform(in);
+  std::vector<double> deltas;
+  for (std::size_t i = 0; i < in.size(); ++i)
+    deltas.push_back(out[i] - in[i] - ch.latency_ps());
+  const auto s = gm::summarize(deltas);
+  EXPECT_NEAR(s.stddev, 2.0, 0.15);
+  EXPECT_NEAR(s.mean, 0.0, 0.15);
+}
+
+TEST(FastChannel, FitMatchesAnalogModel) {
+  // Fit the edge model from the analog channel, then check that both
+  // predict the same delay at fresh settings (not used during the fit).
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 64), sc);
+  gc::VariableDelayChannel analog(gc::ChannelConfig::prototype(), Rng(5));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 9;
+  const auto params = gf::fit_edge_model(analog, stim.wf, stim.unit_interval_ps, o);
+  gf::FastChannel fast(params, Rng(6));
+
+  for (const auto& [tap, vctrl] : std::vector<std::pair<int, double>>{
+           {0, 0.4}, {1, 1.1}, {3, 0.8}}) {
+    analog.select_tap(tap);
+    analog.set_vctrl(vctrl);
+    fast.select_tap(tap);
+    fast.set_vctrl(vctrl);
+    const auto out = analog.process(stim.wf);
+    const double measured = gm::measure_delay(stim.wf, out).mean_ps;
+    EXPECT_NEAR(fast.latency_ps(), measured, 2.0)
+        << "tap " << tap << " vctrl " << vctrl;
+  }
+  EXPECT_GT(params.added_rj_sigma_ps, 0.2);
+  EXPECT_LT(params.added_rj_sigma_ps, 6.0);
+}
+
+TEST(FastChannel, OrdersOfMagnitudeFasterThanAnalog) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 6.4;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 128), sc);
+  gc::VariableDelayChannel analog(gc::ChannelConfig{}, Rng(7));
+  gf::FastChannel fast(synthetic_params(), Rng(8));
+  const auto edges = gs::edge_times(gs::extract_edges(stim.wf));
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  (void)analog.process(stim.wf);
+  const auto t1 = clock::now();
+  for (int i = 0; i < 100; ++i) (void)fast.transform(edges);
+  const auto t2 = clock::now();
+  const double analog_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const double fast_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / 100.0;
+  EXPECT_LT(fast_us * 50.0, analog_us);  // >= 50x faster
+}

@@ -1,0 +1,130 @@
+// Tests for the edge-domain bus: edge sampling, ideal edge streams,
+// multi-lane BER runs.
+#include <gtest/gtest.h>
+
+#include "fast/fast_bus.h"
+#include "util/curve.h"
+#include "util/rng.h"
+
+namespace gf = gdelay::fast;
+namespace gs = gdelay::sig;
+using gdelay::util::Rng;
+
+namespace {
+gf::EdgeModelParams clean_params(double rj = 0.0) {
+  gf::EdgeModelParams p;
+  p.base_latency_ps = 320.0;
+  p.fine_curve = gdelay::util::Curve({0.0, 1.5}, {0.0, 52.0});
+  p.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+  p.added_rj_sigma_ps = rj;
+  return p;
+}
+}  // namespace
+
+TEST(SampleEdges, LevelsToggleAtEdges) {
+  const std::vector<double> edges{100.0, 250.0, 300.0};
+  const std::vector<double> strobes{50.0, 150.0, 275.0, 400.0};
+  const auto bits = gf::sample_edges(edges, strobes, 0);
+  EXPECT_EQ(bits, (gs::BitPattern{0, 1, 0, 1}));
+  const auto inv = gf::sample_edges(edges, strobes, 1);
+  EXPECT_EQ(inv, (gs::BitPattern{1, 0, 1, 0}));
+}
+
+TEST(SampleEdges, StrobeExactlyOnEdge) {
+  // upper_bound counts edges at t <= strobe: a strobe exactly on an edge
+  // samples the POST-edge level (the edge has "happened").
+  const std::vector<double> edges{100.0};
+  EXPECT_EQ(gf::sample_edges(edges, {100.0}, 0)[0], 1);
+  EXPECT_EQ(gf::sample_edges(edges, {100.0 - 1e-9}, 0)[0], 0);
+}
+
+TEST(IdealEdges, MatchesPattern) {
+  const gs::BitPattern bits{1, 0, 0, 1, 1, 1, 0};
+  const auto s = gf::ideal_edges(bits, 100.0);
+  EXPECT_EQ(s.initial_level, 1);
+  ASSERT_EQ(s.times_ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.times_ps[0], 100.0);
+  EXPECT_DOUBLE_EQ(s.times_ps[1], 300.0);
+  EXPECT_DOUBLE_EQ(s.times_ps[2], 600.0);
+  EXPECT_THROW(gf::ideal_edges({}, 100.0), std::invalid_argument);
+}
+
+TEST(IdealEdges, RoundTripThroughSampler) {
+  const auto bits = gs::prbs(7, 200);
+  const auto s = gf::ideal_edges(bits, 156.25);
+  std::vector<double> strobes;
+  for (std::size_t k = 0; k < bits.size(); ++k)
+    strobes.push_back(156.25 * (static_cast<double>(k) + 0.5));
+  const auto sampled = gf::sample_edges(s.times_ps, strobes, s.initial_level);
+  EXPECT_EQ(sampled, bits);
+}
+
+TEST(FastBus, Validation) {
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 0;
+  EXPECT_THROW(gf::FastBus(cfg, clean_params(), Rng(1)),
+               std::invalid_argument);
+  cfg.n_lanes = 3;
+  EXPECT_THROW(gf::FastBus(cfg, std::vector<gf::EdgeModelParams>(2, clean_params()),
+                           Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(FastBus, CleanBusIsErrorFree) {
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 4;
+  cfg.source_rj_sigma_ps = 0.0;
+  gf::FastBus bus(cfg, clean_params(0.0), Rng(2));
+  const auto res = bus.run_ber(5000, 0.0);
+  EXPECT_EQ(res.bits_total, 20000u);
+  EXPECT_EQ(res.bit_errors, 0u);
+  EXPECT_DOUBLE_EQ(res.ber(), 0.0);
+}
+
+TEST(FastBus, StrobeNearEdgeCausesErrors) {
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 2;
+  cfg.source_rj_sigma_ps = 2.0;
+  gf::FastBus bus(cfg, clean_params(2.0), Rng(3));
+  // Strobing half a UI off center = right at the crossing.
+  const auto res = bus.run_ber(4000, cfg.ui_ps / 2.0);
+  EXPECT_GT(res.ber(), 0.05);
+}
+
+TEST(FastBus, BerGrowsTowardEyeEdge) {
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 2;
+  cfg.source_rj_sigma_ps = 3.0;
+  gf::FastBus bus(cfg, clean_params(3.0), Rng(4));
+  const auto center = bus.run_ber(20000, 0.0);
+  const auto near_edge = bus.run_ber(20000, 0.42 * cfg.ui_ps);
+  EXPECT_LT(center.ber(), 1e-3);
+  EXPECT_GT(near_edge.ber(), 3.0 * center.ber());
+  EXPECT_GT(near_edge.ber(), 3e-4);
+}
+
+TEST(FastBus, SkewShrinksCommonMargin) {
+  // With a common strobe trained per lane (latency-compensated), static
+  // skew is absorbed by the receiver training in this model — verify the
+  // lanes still run clean, and that skews were actually drawn.
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 4;
+  cfg.skew_span_ps = 120.0;
+  cfg.source_rj_sigma_ps = 0.5;
+  gf::FastBus bus(cfg, clean_params(0.5), Rng(5));
+  bool any_skew = false;
+  for (int i = 0; i < bus.n_lanes(); ++i)
+    if (std::abs(bus.lane_skew_ps(i)) > 1.0) any_skew = true;
+  EXPECT_TRUE(any_skew);
+  EXPECT_EQ(bus.run_ber(4000, 0.0).bit_errors, 0u);
+}
+
+TEST(FastBus, MillionBitsFast) {
+  gf::FastBusConfig cfg;
+  cfg.n_lanes = 8;
+  cfg.source_rj_sigma_ps = 1.0;
+  gf::FastBus bus(cfg, clean_params(1.5), Rng(6));
+  const auto res = bus.run_ber(125000, 0.0);  // 1M bit-slots
+  EXPECT_EQ(res.bits_total, 1000000u);
+  EXPECT_LT(res.ber(), 1e-4);  // comfortable at eye center
+}

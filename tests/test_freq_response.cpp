@@ -1,0 +1,125 @@
+// Tests for the frequency-response instrument and the duty-cycle
+// measurement, cross-validating the analog elements against their
+// configured parameters in the frequency domain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/buffer.h"
+#include "analog/primitives.h"
+#include "analog/tline.h"
+#include "measure/freq_response.h"
+#include "measure/jitter.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ga = gdelay::analog;
+namespace gm = gdelay::meas;
+namespace gs = gdelay::sig;
+using gdelay::util::Rng;
+
+namespace {
+std::vector<double> logspace(double lo, double hi, int n) {
+  std::vector<double> f;
+  for (int i = 0; i < n; ++i)
+    f.push_back(lo * std::pow(hi / lo, static_cast<double>(i) / (n - 1)));
+  return f;
+}
+}  // namespace
+
+TEST(FreqResponse, Validation) {
+  ga::GainStage g(1.0);
+  EXPECT_THROW(gm::measure_frequency_response(g, {}), std::invalid_argument);
+  EXPECT_THROW(gm::measure_frequency_response(g, {2.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gm::measure_frequency_response(g, {-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(FreqResponse, GainStageIsFlat) {
+  ga::GainStage g(2.5);
+  const auto resp =
+      gm::measure_frequency_response(g, {0.5, 1.0, 2.0, 4.0, 8.0});
+  for (const auto& p : resp) {
+    EXPECT_NEAR(p.gain, 2.5, 0.01) << p.f_ghz;
+    EXPECT_NEAR(p.phase_rad, 0.0, 0.01) << p.f_ghz;
+  }
+}
+
+TEST(FreqResponse, SinglePoleMatchesConfig) {
+  ga::SinglePoleFilter f(5.0);
+  const auto resp = gm::measure_frequency_response(f, logspace(0.5, 20.0, 15));
+  // DC-ish gain ~1, measured f3dB within 5 % of configured.
+  EXPECT_NEAR(resp.front().gain, 1.0, 0.02);
+  EXPECT_NEAR(gm::f3db_from_response(resp), 5.0, 0.25);
+  // Phase at the pole is -45 degrees.
+  for (const auto& p : resp)
+    if (std::abs(p.f_ghz - 5.0) < 0.4)
+      EXPECT_NEAR(p.phase_rad, -gdelay::util::kPi / 4.0, 0.1);
+}
+
+TEST(FreqResponse, FractionalDelayGroupDelay) {
+  ga::FractionalDelay d(40.0);
+  const auto resp = gm::measure_frequency_response(
+      d, {0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0});
+  for (std::size_t i = 1; i < resp.size(); ++i)
+    EXPECT_NEAR(resp[i].group_delay_ps, 40.0, 1.0) << resp[i].f_ghz;
+  for (const auto& p : resp) EXPECT_NEAR(p.gain, 1.0, 0.02);
+}
+
+TEST(FreqResponse, TransmissionLineDelayAndLoss) {
+  ga::TransmissionLineConfig cfg;
+  cfg.delay_ps = 33.0;
+  cfg.loss_db = 2.0;
+  ga::TransmissionLine t(cfg);
+  const auto resp = gm::measure_frequency_response(
+      t, {1.0, 1.5, 2.0, 2.5, 3.0});
+  for (std::size_t i = 1; i < resp.size(); ++i)
+    EXPECT_NEAR(resp[i].group_delay_ps, 33.0, 1.0);
+  EXPECT_NEAR(resp.front().gain_db, -2.0, 0.1);
+}
+
+TEST(FreqResponse, VgaStageBandwidthIsFinite) {
+  // Small-signal response of the full VGA stage: flat-ish at low GHz,
+  // rolled off well before 20 GHz (the cascade of configured poles).
+  ga::VgaBufferConfig cfg;
+  cfg.noise_sigma_v = 0.0;
+  ga::VariableGainBuffer vga(cfg, Rng(1));
+  vga.set_vctrl(1.5);
+  const auto resp =
+      gm::measure_frequency_response(vga, logspace(0.3, 16.0, 12));
+  const double f3 = gm::f3db_from_response(resp);
+  EXPECT_GT(f3, 1.0);
+  EXPECT_LT(f3, 12.0);
+  // Gain falls monotonically beyond the knee.
+  EXPECT_LT(resp.back().gain, resp.front().gain);
+}
+
+TEST(Duty, CleanClockIsFifty) {
+  gs::SynthConfig sc;
+  const auto clk = gs::synthesize_clock(3.2, 100, sc);
+  const auto rep = gm::measure_duty(clk.wf, clk.unit_interval_ps, 0.0, 500.0);
+  EXPECT_NEAR(rep.duty, 0.5, 0.01);
+  EXPECT_NEAR(rep.dcd_ps, 0.0, 2.0);
+}
+
+TEST(Duty, ThresholdOffsetSkewsDuty) {
+  gs::SynthConfig sc;
+  const auto clk = gs::synthesize_clock(3.2, 100, sc);
+  // Slicing a finite-rise clock above center spends less time "high".
+  const auto rep =
+      gm::measure_duty(clk.wf, clk.unit_interval_ps, 0.15, 500.0);
+  EXPECT_LT(rep.duty, 0.48);
+  EXPECT_LT(rep.dcd_ps, -2.0);
+}
+
+TEST(Duty, Validation) {
+  gs::SynthConfig sc;
+  const auto clk = gs::synthesize_clock(3.2, 4, sc);
+  EXPECT_THROW(gm::measure_duty(clk.wf, 0.0), std::invalid_argument);
+  // Settle beyond the record: empty but well-defined.
+  const auto rep = gm::measure_duty(clk.wf, 156.25, 0.0, 1e9);
+  EXPECT_DOUBLE_EQ(rep.duty, 0.5);
+}

@@ -1,0 +1,141 @@
+// Tests for the eye-mask and bathtub (BER extrapolation) instruments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/jitter_injector.h"
+#include "measure/bathtub.h"
+#include "measure/mask.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gm = gdelay::meas;
+namespace gs = gdelay::sig;
+namespace gc = gdelay::core;
+using gdelay::util::Rng;
+
+TEST(EyeMask, PointGeometry) {
+  gm::EyeMask m;
+  m.width_ps = 60.0;
+  m.inner_width_ps = 30.0;
+  m.height_v = 0.2;
+  EXPECT_TRUE(gm::point_in_mask(m, 0.0, 0.0));
+  EXPECT_TRUE(gm::point_in_mask(m, 14.0, 0.09));   // inside flat top
+  EXPECT_FALSE(gm::point_in_mask(m, 31.0, 0.0));   // outside width
+  EXPECT_FALSE(gm::point_in_mask(m, 0.0, 0.11));   // above height
+  // On the sloped flank: at x = 22.5 the allowed height is half.
+  EXPECT_TRUE(gm::point_in_mask(m, 22.5, 0.04));
+  EXPECT_FALSE(gm::point_in_mask(m, 22.5, 0.06));
+  // Symmetry.
+  EXPECT_TRUE(gm::point_in_mask(m, -14.0, -0.09));
+}
+
+TEST(EyeMask, CleanEyePasses) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto r = gs::synthesize_nrz(gs::prbs(7, 128), sc);
+  gm::EyeMask m;
+  m.width_ps = 120.0;
+  m.inner_width_ps = 60.0;
+  m.height_v = 0.4;
+  const auto res = gm::test_eye_mask(r.wf, r.unit_interval_ps, m, 0.0, 500.0);
+  EXPECT_TRUE(res.pass());
+  EXPECT_GT(res.samples_checked, 1000u);
+}
+
+TEST(EyeMask, JitteredEyeFails) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 256), sc);
+  gc::JitterInjectorConfig jc;
+  jc.noise_pp_v = 1.2;  // heavy injection closes the eye horizontally
+  gc::JitterInjector inj(jc, Rng(4));
+  const auto out = inj.process(stim.wf);
+  gm::EyeMask wide;
+  wide.width_ps = 290.0;  // nearly a full UI: jittered edges must hit it
+  wide.inner_width_ps = 150.0;
+  wide.height_v = 0.15;
+  const auto res = gm::test_eye_mask(out, stim.unit_interval_ps, wide);
+  EXPECT_FALSE(res.pass());
+  EXPECT_GT(res.hit_ratio(), 0.0);
+}
+
+TEST(EyeMask, ValidatesInput) {
+  gs::SynthConfig sc;
+  const auto r = gs::synthesize_nrz(gs::prbs(7, 16), sc);
+  gm::EyeMask m;
+  m.inner_width_ps = m.width_ps + 1.0;
+  EXPECT_THROW(gm::test_eye_mask(r.wf, 156.25, m), std::invalid_argument);
+  EXPECT_THROW(gm::test_eye_mask(r.wf, 0.0, gm::EyeMask{}),
+               std::invalid_argument);
+}
+
+TEST(Bathtub, QFunction) {
+  EXPECT_NEAR(gm::q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(gm::q_function(1.0), 0.15866, 1e-4);
+  EXPECT_NEAR(gm::q_function(7.0), 1.28e-12, 2e-13);
+  EXPECT_NEAR(gm::q_function(-1.0), 1.0 - 0.15866, 1e-4);
+}
+
+TEST(Bathtub, ShapeIsBathtub) {
+  const auto curve = gm::bathtub_curve(156.25, 2.0, 10.0);
+  ASSERT_GE(curve.size(), 3u);
+  // High BER at the edges, tiny in the middle.
+  EXPECT_GT(curve.front().ber, 0.2);
+  EXPECT_GT(curve.back().ber, 0.2);
+  const auto mid = curve[curve.size() / 2];
+  EXPECT_LT(mid.ber, 1e-12);
+  // Symmetric.
+  EXPECT_NEAR(curve.front().ber, curve.back().ber, 1e-9);
+}
+
+TEST(Bathtub, MoreJitterClosesEye) {
+  const double open_small =
+      gm::eye_opening_at_ber(156.25, 1.0, 0.0, 1e-12);
+  const double open_big = gm::eye_opening_at_ber(156.25, 4.0, 0.0, 1e-12);
+  const double open_dj = gm::eye_opening_at_ber(156.25, 1.0, 30.0, 1e-12);
+  EXPECT_GT(open_small, open_big);
+  EXPECT_GT(open_small, open_dj);
+  EXPECT_GT(open_big, 0.0);
+}
+
+TEST(Bathtub, ClosedEyeReportsZero) {
+  // RJ sigma = 20 ps on a 156 ps UI: hopeless at 1e-12.
+  EXPECT_DOUBLE_EQ(gm::eye_opening_at_ber(156.25, 20.0, 0.0, 1e-12), 0.0);
+}
+
+TEST(Bathtub, OpeningMatchesAnalyticGaussian) {
+  // Pure RJ: opening = UI - 2*Qinv(2*ber/rho)*sigma. Check via the known
+  // Q(7.03) ~ 1e-12 point: target 0.25e-12 per side at rho 0.5 ->
+  // z with Q(z) = 1e-12... verify consistency within a ps.
+  const double ui = 200.0, sigma = 3.0, ber = 1e-12;
+  const double opening = gm::eye_opening_at_ber(ui, sigma, 0.0, ber, 0.5);
+  // Solve expected: Q(z) = 2*ber/rho = 4e-12 -> z ~ 6.85.
+  double z = 6.0;
+  for (int i = 0; i < 100; ++i) {
+    const double f = gm::q_function(z) - 4e-12;
+    z -= f / (-std::exp(-z * z / 2.0) / std::sqrt(2.0 * 3.14159265358979));
+  }
+  EXPECT_NEAR(opening, ui - 2.0 * z * sigma, 1.0);
+}
+
+TEST(Bathtub, FromJitterReport) {
+  gm::JitterReport rep;
+  rep.ui_ps = 156.25;
+  rep.rj_rms_ps = 2.0;
+  rep.dj_pp_ps = 8.0;
+  const auto curve = gm::bathtub_curve(rep);
+  EXPECT_EQ(curve.size(), 65u);
+  // Zero-RJ reports are guarded (no division blowup).
+  rep.rj_rms_ps = 0.0;
+  EXPECT_NO_THROW(gm::bathtub_curve(rep));
+}
+
+TEST(Bathtub, ValidatesInput) {
+  EXPECT_THROW(gm::bathtub_curve(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(gm::bathtub_curve(100.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(gm::bathtub_curve(100.0, 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(gm::eye_opening_at_ber(100.0, 1.0, 0.0, 0.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,161 @@
+// Property-style parameterized sweeps across seeds, rates and settings —
+// the invariants that must hold for ANY instance, not just the golden
+// seeds used elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "core/deskew.h"
+#include "core/variation.h"
+#include "measure/delay_meter.h"
+#include "measure/jitter.h"
+#include "signal/edges.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gm = gdelay::meas;
+using gdelay::util::Rng;
+
+// ---------------------------------------------------------------------
+// Property: for any seed, a calibrated (possibly process-varied) channel
+// realizes a requested delay within ~1.5 ps.
+class ProgramAccuracySeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgramAccuracySeeds, CalibratedChannelHitsTarget) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 64), sc);
+
+  gc::ProcessVariation var;
+  Rng draw = rng.fork(1);
+  const auto cfg = var.apply(gc::ChannelConfig::prototype(), draw);
+  gc::VariableDelayChannel ch(cfg, rng.fork(2));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 9;
+  const auto cal = gc::DelayCalibrator(o).calibrate(ch, stim.wf);
+
+  const double target = 0.55 * cal.total_range_ps();
+  const auto set = cal.plan(target);
+  ch.select_tap(set.tap);
+  ch.set_vctrl(set.vctrl_v);
+  const double rel =
+      gm::measure_delay(stim.wf, ch.process(stim.wf)).mean_ps -
+      cal.base_latency_ps;
+  EXPECT_NEAR(rel, target, 1.5) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramAccuracySeeds,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------
+// Property: the jitter analyzer recovers a known RJ sigma at any rate.
+class JitterRecoveryRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(JitterRecoveryRates, RjRecoveredWithinTenPercent) {
+  const double rate = GetParam();
+  gs::SynthConfig sc;
+  sc.rate_gbps = rate;
+  sc.rj_sigma_ps = 1.8;
+  Rng rng(777);
+  const auto r = gs::synthesize_nrz(gs::prbs(15, 1200), sc, &rng);
+  const auto rep = gm::measure_jitter(r.wf, r.unit_interval_ps);
+  EXPECT_NEAR(rep.rj_rms_ps, 1.8, 0.25) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, JitterRecoveryRates,
+                         ::testing::Values(0.8, 1.6, 3.2, 4.8, 6.4));
+
+// ---------------------------------------------------------------------
+// Property: the deskew engine always hits its target when it declares
+// the plan feasible, for any arrival configuration.
+class DeskewArrivals : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeskewArrivals, FeasiblePlansAreAccurate) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  gc::ChannelCalibration cal;
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 8; ++i) {
+    xs.push_back(1.5 * i / 8.0);
+    ys.push_back(52.0 * i / 8.0);
+  }
+  cal.fine_curve = gdelay::util::Curve(xs, ys);
+  cal.tap_offset_ps = {0.0, 33.0, 66.0, 99.0};
+
+  const int n = 2 + static_cast<int>(rng.below(7));
+  std::vector<double> arrivals;
+  for (int i = 0; i < n; ++i) arrivals.push_back(rng.uniform(0.0, 140.0));
+  const std::vector<gc::ChannelCalibration> cals(
+      static_cast<std::size_t>(n), cal);
+  const auto plan = gc::DeskewEngine::plan(arrivals, cals);
+  if (!plan.feasible) {
+    // Only legitimate when the spread genuinely exceeds the range.
+    double lo = 1e300, hi = -1e300;
+    for (double a : arrivals) {
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    EXPECT_GT(hi - lo, cal.total_range_ps());
+    return;
+  }
+  for (std::size_t i = 0; i < arrivals.size(); ++i)
+    EXPECT_NEAR(arrivals[i] + plan.settings[i].predicted_delay_ps,
+                plan.target_arrival_ps, 0.2)
+        << "seed " << seed << " ch " << i;
+  EXPECT_LT(plan.residual_span_ps, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeskewArrivals,
+                         ::testing::Range(100, 112));
+
+// ---------------------------------------------------------------------
+// Property: synthesized edge counts always match pattern transitions,
+// for any pattern family.
+class EdgeCountPatterns
+    : public ::testing::TestWithParam<gs::BitPattern> {};
+
+TEST_P(EdgeCountPatterns, ExtractionMatchesTransitionCount) {
+  const auto& bits = GetParam();
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto r = gs::synthesize_nrz(bits, sc);
+  const auto edges = gs::extract_edges(r.wf);
+  EXPECT_EQ(edges.size(), gs::transition_count(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, EdgeCountPatterns,
+    ::testing::Values(gs::prbs(7, 64), gs::prbs(15, 96),
+                      gs::alternating(48), gs::k285(8),
+                      gs::run_length_stress(80, 5),
+                      gs::BitPattern{1, 1, 1, 0, 0, 0, 1, 0, 1}));
+
+// ---------------------------------------------------------------------
+// Property: the coarse block's measured tap pitch follows any configured
+// geometry, not just the default 33 ps.
+class CoarsePitch : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoarsePitch, MeasuredStepTracksConfiguredPitch) {
+  const double pitch = GetParam();
+  gc::CoarseDelayConfig cfg;
+  cfg.tap_delay_ps = {0.0, pitch, 2.0 * pitch, 3.0 * pitch};
+  gc::CoarseDelayBlock blk(cfg, Rng(5));
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 48), sc);
+  blk.select(0);
+  const double d0 = gm::measure_delay(stim.wf, blk.process(stim.wf)).mean_ps;
+  blk.select(3);
+  const double d3 = gm::measure_delay(stim.wf, blk.process(stim.wf)).mean_ps;
+  EXPECT_NEAR(d3 - d0, 3.0 * pitch, 1.5) << "pitch " << pitch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, CoarsePitch,
+                         ::testing::Values(20.0, 33.0, 50.0));

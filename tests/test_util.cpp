@@ -1,0 +1,248 @@
+// Tests for util: units, RNG, curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/curve.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace gu = gdelay::util;
+
+TEST(Units, PeriodAndRate) {
+  EXPECT_DOUBLE_EQ(gu::period_ps(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(gu::period_ps(6.4), 156.25);
+  EXPECT_DOUBLE_EQ(gu::unit_interval_ps(6.4), 156.25);
+  EXPECT_DOUBLE_EQ(gu::freq_ghz(156.25), 6.4);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(gu::ns_to_ps(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(gu::ps_to_ns(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(gu::mv(750.0), 0.75);
+  EXPECT_DOUBLE_EQ(gu::to_mv(0.1), 100.0);
+}
+
+TEST(Units, DbLoss) {
+  EXPECT_NEAR(gu::db_loss_to_factor(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(gu::db_loss_to_factor(6.0205999), 0.5, 1e-6);
+  EXPECT_NEAR(gu::db_loss_to_factor(20.0), 0.1, 1e-12);
+}
+
+TEST(Units, GaussianPpConvention) {
+  EXPECT_DOUBLE_EQ(gu::gaussian_pp_to_sigma(0.9), 0.15);
+  EXPECT_DOUBLE_EQ(gu::gaussian_sigma_to_pp(0.15), 0.9);
+}
+
+TEST(Rng, Deterministic) {
+  gu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  gu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  gu::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  gu::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  gu::Rng r(123);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  gu::Rng r(5);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  gu::Rng parent(99);
+  gu::Rng c1 = parent.fork(0);
+  gu::Rng c2 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange) {
+  gu::Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Curve, RejectsBadInput) {
+  EXPECT_THROW(gu::Curve({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(gu::Curve({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(gu::Curve({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Curve, LinearInterpolation) {
+  gu::Curve c({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(c(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(c(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(c(1.0), 10.0);
+}
+
+TEST(Curve, ExtrapolatesLinearly) {
+  gu::Curve c({0.0, 1.0}, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(c(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(c(-1.0), -10.0);
+}
+
+TEST(Curve, Monotonicity) {
+  gu::Curve inc({0.0, 1.0, 2.0}, {0.0, 1.0, 3.0});
+  EXPECT_TRUE(inc.is_monotonic_increasing());
+  EXPECT_FALSE(inc.is_monotonic_decreasing());
+  gu::Curve bump({0.0, 1.0, 2.0}, {0.0, 2.0, 1.0});
+  EXPECT_FALSE(bump.is_monotonic_increasing());
+  EXPECT_FALSE(bump.is_monotonic_decreasing());
+}
+
+TEST(Curve, InvertRoundTrip) {
+  gu::Curve c({0.0, 0.5, 1.0, 1.5}, {0.0, 20.0, 45.0, 56.0});
+  for (double y : {0.0, 5.0, 20.0, 33.0, 56.0}) {
+    const double x = c.invert(y);
+    EXPECT_NEAR(c(x), y, 1e-9);
+  }
+}
+
+TEST(Curve, InvertClampsOutOfRange) {
+  gu::Curve c({0.0, 1.0}, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(c.invert(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.invert(99.0), 1.0);
+}
+
+TEST(Curve, InvertDecreasing) {
+  gu::Curve c({0.0, 1.0, 2.0}, {10.0, 5.0, 0.0});
+  EXPECT_NEAR(c.invert(7.5), 0.5, 1e-9);
+  EXPECT_NEAR(c.invert(2.5), 1.5, 1e-9);
+}
+
+TEST(Curve, InvertNonMonotonicThrows) {
+  gu::Curve c({0.0, 1.0, 2.0}, {0.0, 2.0, 1.0});
+  EXPECT_THROW(c.invert(0.5), std::domain_error);
+}
+
+TEST(Curve, FromSamplesSorts) {
+  auto c = gu::Curve::from_samples({{2.0, 20.0}, {0.0, 0.0}, {1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(c(1.5), 15.0);
+}
+
+TEST(Curve, MidSlope) {
+  gu::Curve c({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 3.0, 5.0, 6.0});
+  // Central half covers the steep 2/unit segments.
+  EXPECT_NEAR(c.mid_slope(0.5), 2.0, 1e-9);
+}
+
+TEST(Curve, YSpan) {
+  gu::Curve c({0.0, 1.0, 2.0}, {5.0, -1.0, 7.0});
+  EXPECT_DOUBLE_EQ(c.y_span(), 8.0);
+}
+
+TEST(Isotonic, AlreadyMonotone) {
+  const std::vector<double> ys{0.0, 1.0, 2.0, 5.0};
+  EXPECT_EQ(gu::isotonic_increasing(ys), ys);
+}
+
+TEST(Isotonic, PoolsViolators) {
+  const auto out = gu::isotonic_increasing({1.0, 3.0, 2.0, 4.0});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_GE(out[i], out[i - 1]);
+}
+
+TEST(Isotonic, PreservesMean) {
+  const std::vector<double> ys{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const auto out = gu::isotonic_increasing(ys);
+  double a = 0.0, b = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    a += ys[i];
+    b += out[i];
+  }
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Isotonic, ConstantInput) {
+  const auto out = gu::isotonic_increasing({2.0, 2.0, 2.0});
+  for (double y : out) EXPECT_DOUBLE_EQ(y, 2.0);
+}
+
+TEST(CurveMonotonicized, CleansNoisyIncreasing) {
+  // A monotone ramp with a small dip: monotonicized must be non-decreasing
+  // and close to the original.
+  gu::Curve c({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.1, 0.9, 3.0, 4.0});
+  const auto m = c.monotonicized();
+  EXPECT_TRUE(m.is_monotonic_increasing());
+  EXPECT_NO_THROW(m.invert(2.0));
+  for (std::size_t i = 0; i < m.size(); ++i)
+    EXPECT_NEAR(m.ys()[i], c.ys()[i], 0.2);
+}
+
+TEST(CurveMonotonicized, PicksDecreasingDirection) {
+  gu::Curve c({0.0, 1.0, 2.0, 3.0}, {9.0, 6.1, 6.2, 1.0});
+  const auto m = c.monotonicized();
+  EXPECT_TRUE(m.is_monotonic_decreasing());
+}
+
+TEST(Csv, WritesColumns) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "gdelay_csv_test.csv")
+          .string();
+  gu::write_csv(path, {"x", "y"}, {{1.0, 2.0}, {10.0, 20.0}});
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "x,y\n1,10\n2,20\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ValidatesInput) {
+  EXPECT_THROW(gu::write_csv("/tmp/x.csv", {"a"}, {{1.0}, {2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(gu::write_csv("/tmp/x.csv", {"a", "b"}, {{1.0}, {2.0, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(gu::write_csv("/tmp/x.csv", {}, {}), std::invalid_argument);
+  EXPECT_THROW(
+      gu::write_csv_xy("/nonexistent/dir/x.csv", "a", {1.0}, "b", {2.0}),
+      std::runtime_error);
+}

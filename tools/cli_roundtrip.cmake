@@ -1,0 +1,17 @@
+# Calibrate to a file, then plan from it; both must succeed and the plan
+# output must mention a DAC code.
+set(CAL "${WORKDIR}/cli_cal.txt")
+execute_process(COMMAND ${TOOL} calibrate --out ${CAL} --bits 48
+                RESULT_VARIABLE rc1 OUTPUT_VARIABLE out1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "calibrate failed: ${out1}")
+endif()
+execute_process(COMMAND ${TOOL} plan --cal ${CAL} --delay 64.5
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "plan failed: ${out2}")
+endif()
+if(NOT out2 MATCHES "DAC code")
+  message(FATAL_ERROR "plan output missing DAC code: ${out2}")
+endif()
+file(REMOVE ${CAL})

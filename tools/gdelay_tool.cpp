@@ -1,0 +1,180 @@
+// gdelay_tool — command-line front end to the library.
+//
+//   gdelay_tool characterize [--rate R] [--bits N] [--seed S]
+//       Build the prototype channel, run the full calibration and print
+//       the Fig. 7/9-style characterization summary.
+//
+//   gdelay_tool calibrate --out FILE [--rate R] [--bits N] [--seed S]
+//       Calibrate and persist the table (text format, see core/cal_io.h).
+//
+//   gdelay_tool plan --cal FILE --delay PS
+//       Load a calibration and print the (tap, DAC code) realizing PS.
+//
+//   gdelay_tool deskew [--lanes N] [--skew PS] [--seed S]
+//       Run the full bus-deskew flow and print the before/after report.
+//
+// All randomness is seeded; identical invocations produce identical
+// output.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ate/bus.h"
+#include "ate/controller.h"
+#include "core/cal_io.h"
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "core/requirements.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+using namespace gdelay;
+
+namespace {
+
+struct Args {
+  std::string command;
+  double rate_gbps = 3.2;
+  std::size_t bits = 96;
+  std::uint64_t seed = 2008;
+  std::string cal_path;
+  std::string out_path;
+  double delay_ps = 50.0;
+  int lanes = 4;
+  double skew_ps = 120.0;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: gdelay_tool <characterize|calibrate|plan|deskew>"
+               " [options]\n"
+               "  common : --rate GBPS --bits N --seed S\n"
+               "  calibrate: --out FILE\n"
+               "  plan   : --cal FILE --delay PS\n"
+               "  deskew : --lanes N --skew PS\n");
+  std::exit(code);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage(2);
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string key = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (key == "--rate") a.rate_gbps = std::atof(value());
+    else if (key == "--bits") a.bits = static_cast<std::size_t>(std::atoll(value()));
+    else if (key == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (key == "--cal") a.cal_path = value();
+    else if (key == "--out") a.out_path = value();
+    else if (key == "--delay") a.delay_ps = std::atof(value());
+    else if (key == "--lanes") a.lanes = std::atoi(value());
+    else if (key == "--skew") a.skew_ps = std::atof(value());
+    else if (key == "--help" || key == "-h") usage(0);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
+      usage(2);
+    }
+  }
+  return a;
+}
+
+core::ChannelCalibration calibrate_prototype(const Args& a) {
+  util::Rng rng(a.seed);
+  sig::SynthConfig sc;
+  sc.rate_gbps = a.rate_gbps;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, a.bits), sc);
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(),
+                                rng.fork(1));
+  core::DelayCalibrator::Options o;
+  o.n_vctrl_points = 13;
+  return core::DelayCalibrator(o).calibrate(ch, stim.wf);
+}
+
+int cmd_characterize(const Args& a) {
+  const auto cal = calibrate_prototype(a);
+  std::printf("prototype channel @ %.2f Gbps PRBS7 (%zu bits, seed %llu)\n",
+              a.rate_gbps, a.bits,
+              static_cast<unsigned long long>(a.seed));
+  std::printf("  fine range   : %7.2f ps\n", cal.fine_range_ps());
+  std::printf("  total range  : %7.2f ps (requirement > %.0f)\n",
+              cal.total_range_ps(), core::Requirements::kTotalRangePs);
+  std::printf("  base latency : %7.2f ps\n", cal.base_latency_ps);
+  std::printf("  taps         : %.2f / %.2f / %.2f / %.2f ps\n",
+              cal.tap_offset_ps[0], cal.tap_offset_ps[1],
+              cal.tap_offset_ps[2], cal.tap_offset_ps[3]);
+  std::printf("  resolution   : %7.4f ps/LSB (%d-bit DAC)\n",
+              cal.resolution_ps(), cal.dac.bits());
+  return 0;
+}
+
+int cmd_calibrate(const Args& a) {
+  if (a.out_path.empty()) usage(2);
+  const auto cal = calibrate_prototype(a);
+  core::save_calibration(a.out_path, cal);
+  std::printf("calibration written to %s (%zu curve points)\n",
+              a.out_path.c_str(), cal.fine_curve.size());
+  return 0;
+}
+
+int cmd_plan(const Args& a) {
+  if (a.cal_path.empty()) usage(2);
+  const auto cal = core::load_calibration(a.cal_path);
+  const auto s = cal.plan(a.delay_ps);
+  std::printf("target %.2f ps -> tap %d, DAC code %u (Vctrl %.4f V), "
+              "predicted %.2f ps (err %+.3f)\n",
+              a.delay_ps, s.tap, s.dac_code, s.vctrl_v,
+              s.predicted_delay_ps, s.predicted_delay_ps - a.delay_ps);
+  return 0;
+}
+
+int cmd_deskew(const Args& a) {
+  util::Rng rng(a.seed);
+  ate::AteBusConfig bc;
+  bc.n_channels = a.lanes;
+  bc.rate_gbps = 6.4;
+  bc.skew_span_ps = a.skew_ps;
+  bc.rj_sigma_ps = 0.8;
+  ate::AteBus bus(bc, rng.fork(1));
+  std::vector<core::VariableDelayChannel> delays;
+  for (int i = 0; i < a.lanes; ++i)
+    delays.emplace_back(core::ChannelConfig::prototype(),
+                        rng.fork(10 + static_cast<std::uint64_t>(i)));
+  ate::DeskewController::Options opt;
+  opt.training = sig::prbs(7, a.bits);
+  opt.calibration.n_vctrl_points = 13;
+  ate::DeskewController ctl(bus, delays, opt);
+  const auto rep = ctl.run();
+  for (std::size_t i = 0; i < rep.plan.settings.size(); ++i)
+    std::printf("lane %zu: tap %d DAC %4u -> residual %+6.2f ps\n", i,
+                rep.plan.settings[i].tap, rep.plan.settings[i].dac_code,
+                rep.arrival_after_ps[i] - rep.plan.target_arrival_ps);
+  std::printf("skew: %.1f ps -> %.2f ps (%s)\n", rep.span_before_ps,
+              rep.span_after_ps,
+              rep.span_after_ps < core::Requirements::kChannelSkewPs
+                  ? "PASS" : "FAIL");
+  return rep.span_after_ps < core::Requirements::kChannelSkewPs ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "characterize") return cmd_characterize(a);
+    if (a.command == "calibrate") return cmd_calibrate(a);
+    if (a.command == "plan") return cmd_plan(a);
+    if (a.command == "deskew") return cmd_deskew(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", a.command.c_str());
+  usage(2);
+}
