@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timestep.dir/bench_ablation_timestep.cpp.o"
+  "CMakeFiles/bench_ablation_timestep.dir/bench_ablation_timestep.cpp.o.d"
+  "bench_ablation_timestep"
+  "bench_ablation_timestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

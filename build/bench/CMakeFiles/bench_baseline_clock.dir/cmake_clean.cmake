@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_clock.dir/bench_baseline_clock.cpp.o"
+  "CMakeFiles/bench_baseline_clock.dir/bench_baseline_clock.cpp.o.d"
+  "bench_baseline_clock"
+  "bench_baseline_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

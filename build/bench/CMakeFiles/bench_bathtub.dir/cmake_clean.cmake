@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bathtub.dir/bench_bathtub.cpp.o"
+  "CMakeFiles/bench_bathtub.dir/bench_bathtub.cpp.o.d"
+  "bench_bathtub"
+  "bench_bathtub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddj.dir/bench_ddj.cpp.o"
+  "CMakeFiles/bench_ddj.dir/bench_ddj.cpp.o.d"
+  "bench_ddj"
+  "bench_ddj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

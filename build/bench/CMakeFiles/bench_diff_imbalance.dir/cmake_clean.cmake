@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff_imbalance.dir/bench_diff_imbalance.cpp.o"
+  "CMakeFiles/bench_diff_imbalance.dir/bench_diff_imbalance.cpp.o.d"
+  "bench_diff_imbalance"
+  "bench_diff_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

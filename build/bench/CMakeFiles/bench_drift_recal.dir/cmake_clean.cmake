@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drift_recal.dir/bench_drift_recal.cpp.o"
+  "CMakeFiles/bench_drift_recal.dir/bench_drift_recal.cpp.o.d"
+  "bench_drift_recal"
+  "bench_drift_recal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drift_recal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

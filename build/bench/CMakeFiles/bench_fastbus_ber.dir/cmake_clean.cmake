@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fastbus_ber.dir/bench_fastbus_ber.cpp.o"
+  "CMakeFiles/bench_fastbus_ber.dir/bench_fastbus_ber.cpp.o.d"
+  "bench_fastbus_ber"
+  "bench_fastbus_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fastbus_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

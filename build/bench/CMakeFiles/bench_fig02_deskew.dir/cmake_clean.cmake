@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_deskew.dir/bench_fig02_deskew.cpp.o"
+  "CMakeFiles/bench_fig02_deskew.dir/bench_fig02_deskew.cpp.o.d"
+  "bench_fig02_deskew"
+  "bench_fig02_deskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_deskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_coarse.dir/bench_fig09_coarse.cpp.o"
+  "CMakeFiles/bench_fig09_coarse.dir/bench_fig09_coarse.cpp.o.d"
+  "bench_fig09_coarse"
+  "bench_fig09_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_eye48.dir/bench_fig12_eye48.cpp.o"
+  "CMakeFiles/bench_fig12_eye48.dir/bench_fig12_eye48.cpp.o.d"
+  "bench_fig12_eye48"
+  "bench_fig12_eye48.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_eye48.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rz64.dir/bench_fig14_rz64.cpp.o"
+  "CMakeFiles/bench_fig14_rz64.dir/bench_fig14_rz64.cpp.o.d"
+  "bench_fig14_rz64"
+  "bench_fig14_rz64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rz64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

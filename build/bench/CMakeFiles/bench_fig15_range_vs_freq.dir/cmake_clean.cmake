@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_range_vs_freq.dir/bench_fig15_range_vs_freq.cpp.o"
+  "CMakeFiles/bench_fig15_range_vs_freq.dir/bench_fig15_range_vs_freq.cpp.o.d"
+  "bench_fig15_range_vs_freq"
+  "bench_fig15_range_vs_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_range_vs_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_injection.dir/bench_fig16_injection.cpp.o"
+  "CMakeFiles/bench_fig16_injection.dir/bench_fig16_injection.cpp.o.d"
+  "bench_fig16_injection"
+  "bench_fig16_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_jitter_vs_noise.dir/bench_fig17_jitter_vs_noise.cpp.o"
+  "CMakeFiles/bench_fig17_jitter_vs_noise.dir/bench_fig17_jitter_vs_noise.cpp.o.d"
+  "bench_fig17_jitter_vs_noise"
+  "bench_fig17_jitter_vs_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_jitter_vs_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

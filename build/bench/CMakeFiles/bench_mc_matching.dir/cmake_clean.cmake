@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_matching.dir/bench_mc_matching.cpp.o"
+  "CMakeFiles/bench_mc_matching.dir/bench_mc_matching.cpp.o.d"
+  "bench_mc_matching"
+  "bench_mc_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_req_compliance.dir/bench_req_compliance.cpp.o"
+  "CMakeFiles/bench_req_compliance.dir/bench_req_compliance.cpp.o.d"
+  "bench_req_compliance"
+  "bench_req_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_req_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sj_template.dir/bench_sj_template.cpp.o"
+  "CMakeFiles/bench_sj_template.dir/bench_sj_template.cpp.o.d"
+  "bench_sj_template"
+  "bench_sj_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sj_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

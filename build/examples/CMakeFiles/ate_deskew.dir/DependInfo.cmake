@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ate_deskew.cpp" "examples/CMakeFiles/ate_deskew.dir/ate_deskew.cpp.o" "gcc" "examples/CMakeFiles/ate_deskew.dir/ate_deskew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ate/CMakeFiles/gdelay_ate.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/gdelay_fast.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gdelay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/gdelay_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/gdelay_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gdelay_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gdelay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

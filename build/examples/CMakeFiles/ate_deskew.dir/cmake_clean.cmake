@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ate_deskew.dir/ate_deskew.cpp.o"
+  "CMakeFiles/ate_deskew.dir/ate_deskew.cpp.o.d"
+  "ate_deskew"
+  "ate_deskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ate_deskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_board.dir/characterize_board.cpp.o"
+  "CMakeFiles/characterize_board.dir/characterize_board.cpp.o.d"
+  "characterize_board"
+  "characterize_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

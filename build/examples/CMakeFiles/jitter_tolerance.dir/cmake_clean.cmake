@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_tolerance.dir/jitter_tolerance.cpp.o"
+  "CMakeFiles/jitter_tolerance.dir/jitter_tolerance.cpp.o.d"
+  "jitter_tolerance"
+  "jitter_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

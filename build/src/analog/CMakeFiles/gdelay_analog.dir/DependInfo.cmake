@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/buffer.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/buffer.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/buffer.cpp.o.d"
+  "/root/repo/src/analog/coupling.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/coupling.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/coupling.cpp.o.d"
+  "/root/repo/src/analog/differential.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/differential.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/differential.cpp.o.d"
+  "/root/repo/src/analog/element.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/element.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/element.cpp.o.d"
+  "/root/repo/src/analog/primitives.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/primitives.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/primitives.cpp.o.d"
+  "/root/repo/src/analog/tline.cpp" "src/analog/CMakeFiles/gdelay_analog.dir/tline.cpp.o" "gcc" "src/analog/CMakeFiles/gdelay_analog.dir/tline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdelay_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gdelay_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

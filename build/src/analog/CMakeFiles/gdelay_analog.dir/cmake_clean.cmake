@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_analog.dir/buffer.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/buffer.cpp.o.d"
+  "CMakeFiles/gdelay_analog.dir/coupling.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/coupling.cpp.o.d"
+  "CMakeFiles/gdelay_analog.dir/differential.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/differential.cpp.o.d"
+  "CMakeFiles/gdelay_analog.dir/element.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/element.cpp.o.d"
+  "CMakeFiles/gdelay_analog.dir/primitives.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/primitives.cpp.o.d"
+  "CMakeFiles/gdelay_analog.dir/tline.cpp.o"
+  "CMakeFiles/gdelay_analog.dir/tline.cpp.o.d"
+  "libgdelay_analog.a"
+  "libgdelay_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_ate.dir/ate_channel.cpp.o"
+  "CMakeFiles/gdelay_ate.dir/ate_channel.cpp.o.d"
+  "CMakeFiles/gdelay_ate.dir/bus.cpp.o"
+  "CMakeFiles/gdelay_ate.dir/bus.cpp.o.d"
+  "CMakeFiles/gdelay_ate.dir/cdr.cpp.o"
+  "CMakeFiles/gdelay_ate.dir/cdr.cpp.o.d"
+  "CMakeFiles/gdelay_ate.dir/controller.cpp.o"
+  "CMakeFiles/gdelay_ate.dir/controller.cpp.o.d"
+  "CMakeFiles/gdelay_ate.dir/dut.cpp.o"
+  "CMakeFiles/gdelay_ate.dir/dut.cpp.o.d"
+  "libgdelay_ate.a"
+  "libgdelay_ate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

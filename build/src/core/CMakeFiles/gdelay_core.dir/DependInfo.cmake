@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/board.cpp" "src/core/CMakeFiles/gdelay_core.dir/board.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/board.cpp.o.d"
+  "/root/repo/src/core/cal_io.cpp" "src/core/CMakeFiles/gdelay_core.dir/cal_io.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/cal_io.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/gdelay_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/gdelay_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/clock_shifter.cpp" "src/core/CMakeFiles/gdelay_core.dir/clock_shifter.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/clock_shifter.cpp.o.d"
+  "/root/repo/src/core/coarse_delay.cpp" "src/core/CMakeFiles/gdelay_core.dir/coarse_delay.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/coarse_delay.cpp.o.d"
+  "/root/repo/src/core/dac.cpp" "src/core/CMakeFiles/gdelay_core.dir/dac.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/dac.cpp.o.d"
+  "/root/repo/src/core/deskew.cpp" "src/core/CMakeFiles/gdelay_core.dir/deskew.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/deskew.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/gdelay_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/fine_delay.cpp" "src/core/CMakeFiles/gdelay_core.dir/fine_delay.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/fine_delay.cpp.o.d"
+  "/root/repo/src/core/jitter_injector.cpp" "src/core/CMakeFiles/gdelay_core.dir/jitter_injector.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/jitter_injector.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/core/CMakeFiles/gdelay_core.dir/variation.cpp.o" "gcc" "src/core/CMakeFiles/gdelay_core.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdelay_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gdelay_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/gdelay_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/gdelay_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_core.dir/board.cpp.o"
+  "CMakeFiles/gdelay_core.dir/board.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/cal_io.cpp.o"
+  "CMakeFiles/gdelay_core.dir/cal_io.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/calibration.cpp.o"
+  "CMakeFiles/gdelay_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/channel.cpp.o"
+  "CMakeFiles/gdelay_core.dir/channel.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/clock_shifter.cpp.o"
+  "CMakeFiles/gdelay_core.dir/clock_shifter.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/coarse_delay.cpp.o"
+  "CMakeFiles/gdelay_core.dir/coarse_delay.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/dac.cpp.o"
+  "CMakeFiles/gdelay_core.dir/dac.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/deskew.cpp.o"
+  "CMakeFiles/gdelay_core.dir/deskew.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/drift.cpp.o"
+  "CMakeFiles/gdelay_core.dir/drift.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/fine_delay.cpp.o"
+  "CMakeFiles/gdelay_core.dir/fine_delay.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/jitter_injector.cpp.o"
+  "CMakeFiles/gdelay_core.dir/jitter_injector.cpp.o.d"
+  "CMakeFiles/gdelay_core.dir/variation.cpp.o"
+  "CMakeFiles/gdelay_core.dir/variation.cpp.o.d"
+  "libgdelay_core.a"
+  "libgdelay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

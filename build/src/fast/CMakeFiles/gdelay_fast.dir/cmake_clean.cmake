@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_fast.dir/edge_model.cpp.o"
+  "CMakeFiles/gdelay_fast.dir/edge_model.cpp.o.d"
+  "CMakeFiles/gdelay_fast.dir/fast_bus.cpp.o"
+  "CMakeFiles/gdelay_fast.dir/fast_bus.cpp.o.d"
+  "libgdelay_fast.a"
+  "libgdelay_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

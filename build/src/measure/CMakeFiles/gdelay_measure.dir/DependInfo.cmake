@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/bathtub.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/bathtub.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/bathtub.cpp.o.d"
+  "/root/repo/src/measure/delay_meter.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/delay_meter.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/delay_meter.cpp.o.d"
+  "/root/repo/src/measure/eye.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/eye.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/eye.cpp.o.d"
+  "/root/repo/src/measure/freq_response.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/freq_response.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/freq_response.cpp.o.d"
+  "/root/repo/src/measure/histogram.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/histogram.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/histogram.cpp.o.d"
+  "/root/repo/src/measure/jitter.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/jitter.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/jitter.cpp.o.d"
+  "/root/repo/src/measure/mask.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/mask.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/mask.cpp.o.d"
+  "/root/repo/src/measure/stats.cpp" "src/measure/CMakeFiles/gdelay_measure.dir/stats.cpp.o" "gcc" "src/measure/CMakeFiles/gdelay_measure.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdelay_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/gdelay_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

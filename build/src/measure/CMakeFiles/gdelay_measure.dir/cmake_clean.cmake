@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_measure.dir/bathtub.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/bathtub.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/delay_meter.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/delay_meter.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/eye.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/eye.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/freq_response.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/freq_response.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/histogram.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/histogram.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/jitter.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/jitter.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/mask.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/mask.cpp.o.d"
+  "CMakeFiles/gdelay_measure.dir/stats.cpp.o"
+  "CMakeFiles/gdelay_measure.dir/stats.cpp.o.d"
+  "libgdelay_measure.a"
+  "libgdelay_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/edges.cpp" "src/signal/CMakeFiles/gdelay_signal.dir/edges.cpp.o" "gcc" "src/signal/CMakeFiles/gdelay_signal.dir/edges.cpp.o.d"
+  "/root/repo/src/signal/pattern.cpp" "src/signal/CMakeFiles/gdelay_signal.dir/pattern.cpp.o" "gcc" "src/signal/CMakeFiles/gdelay_signal.dir/pattern.cpp.o.d"
+  "/root/repo/src/signal/synth.cpp" "src/signal/CMakeFiles/gdelay_signal.dir/synth.cpp.o" "gcc" "src/signal/CMakeFiles/gdelay_signal.dir/synth.cpp.o.d"
+  "/root/repo/src/signal/waveform.cpp" "src/signal/CMakeFiles/gdelay_signal.dir/waveform.cpp.o" "gcc" "src/signal/CMakeFiles/gdelay_signal.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gdelay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_signal.dir/edges.cpp.o"
+  "CMakeFiles/gdelay_signal.dir/edges.cpp.o.d"
+  "CMakeFiles/gdelay_signal.dir/pattern.cpp.o"
+  "CMakeFiles/gdelay_signal.dir/pattern.cpp.o.d"
+  "CMakeFiles/gdelay_signal.dir/synth.cpp.o"
+  "CMakeFiles/gdelay_signal.dir/synth.cpp.o.d"
+  "CMakeFiles/gdelay_signal.dir/waveform.cpp.o"
+  "CMakeFiles/gdelay_signal.dir/waveform.cpp.o.d"
+  "libgdelay_signal.a"
+  "libgdelay_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_util.dir/csv.cpp.o"
+  "CMakeFiles/gdelay_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gdelay_util.dir/curve.cpp.o"
+  "CMakeFiles/gdelay_util.dir/curve.cpp.o.d"
+  "CMakeFiles/gdelay_util.dir/rng.cpp.o"
+  "CMakeFiles/gdelay_util.dir/rng.cpp.o.d"
+  "libgdelay_util.a"
+  "libgdelay_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

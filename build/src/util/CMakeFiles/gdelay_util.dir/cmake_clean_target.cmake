@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdelay_util.a"
+)

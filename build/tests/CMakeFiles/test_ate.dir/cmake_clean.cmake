@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ate.dir/test_ate.cpp.o"
+  "CMakeFiles/test_ate.dir/test_ate.cpp.o.d"
+  "test_ate"
+  "test_ate.pdb"
+  "test_ate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffers.dir/test_buffers.cpp.o"
+  "CMakeFiles/test_buffers.dir/test_buffers.cpp.o.d"
+  "test_buffers"
+  "test_buffers.pdb"
+  "test_buffers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

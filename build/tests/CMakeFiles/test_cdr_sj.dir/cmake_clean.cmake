@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdr_sj.dir/test_cdr_sj.cpp.o"
+  "CMakeFiles/test_cdr_sj.dir/test_cdr_sj.cpp.o.d"
+  "test_cdr_sj"
+  "test_cdr_sj.pdb"
+  "test_cdr_sj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdr_sj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_shifter.dir/test_clock_shifter.cpp.o"
+  "CMakeFiles/test_clock_shifter.dir/test_clock_shifter.cpp.o.d"
+  "test_clock_shifter"
+  "test_clock_shifter.pdb"
+  "test_clock_shifter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_shifter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

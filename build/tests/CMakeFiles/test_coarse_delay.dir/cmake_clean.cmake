@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarse_delay.dir/test_coarse_delay.cpp.o"
+  "CMakeFiles/test_coarse_delay.dir/test_coarse_delay.cpp.o.d"
+  "test_coarse_delay"
+  "test_coarse_delay.pdb"
+  "test_coarse_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarse_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddj_resample.dir/test_ddj_resample.cpp.o"
+  "CMakeFiles/test_ddj_resample.dir/test_ddj_resample.cpp.o.d"
+  "test_ddj_resample"
+  "test_ddj_resample.pdb"
+  "test_ddj_resample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddj_resample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deskew.dir/test_deskew.cpp.o"
+  "CMakeFiles/test_deskew.dir/test_deskew.cpp.o.d"
+  "test_deskew"
+  "test_deskew.pdb"
+  "test_deskew[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

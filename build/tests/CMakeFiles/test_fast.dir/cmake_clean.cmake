@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast.dir/test_fast.cpp.o"
+  "CMakeFiles/test_fast.dir/test_fast.cpp.o.d"
+  "test_fast"
+  "test_fast.pdb"
+  "test_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

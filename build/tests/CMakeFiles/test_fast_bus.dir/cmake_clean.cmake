@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_bus.dir/test_fast_bus.cpp.o"
+  "CMakeFiles/test_fast_bus.dir/test_fast_bus.cpp.o.d"
+  "test_fast_bus"
+  "test_fast_bus.pdb"
+  "test_fast_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

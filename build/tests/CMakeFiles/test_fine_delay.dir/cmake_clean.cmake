@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fine_delay.dir/test_fine_delay.cpp.o"
+  "CMakeFiles/test_fine_delay.dir/test_fine_delay.cpp.o.d"
+  "test_fine_delay"
+  "test_fine_delay.pdb"
+  "test_fine_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fine_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freq_response.dir/test_freq_response.cpp.o"
+  "CMakeFiles/test_freq_response.dir/test_freq_response.cpp.o.d"
+  "test_freq_response"
+  "test_freq_response.pdb"
+  "test_freq_response[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freq_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter_injector.dir/test_jitter_injector.cpp.o"
+  "CMakeFiles/test_jitter_injector.dir/test_jitter_injector.cpp.o.d"
+  "test_jitter_injector"
+  "test_jitter_injector.pdb"
+  "test_jitter_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

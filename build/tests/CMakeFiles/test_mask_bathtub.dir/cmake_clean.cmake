@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_bathtub.dir/test_mask_bathtub.cpp.o"
+  "CMakeFiles/test_mask_bathtub.dir/test_mask_bathtub.cpp.o.d"
+  "test_mask_bathtub"
+  "test_mask_bathtub.pdb"
+  "test_mask_bathtub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_buffers[1]_include.cmake")
+include("/root/repo/build/tests/test_measure[1]_include.cmake")
+include("/root/repo/build/tests/test_eye[1]_include.cmake")
+include("/root/repo/build/tests/test_fine_delay[1]_include.cmake")
+include("/root/repo/build/tests/test_coarse_delay[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_jitter_injector[1]_include.cmake")
+include("/root/repo/build/tests/test_deskew[1]_include.cmake")
+include("/root/repo/build/tests/test_ate[1]_include.cmake")
+include("/root/repo/build/tests/test_fast[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_board[1]_include.cmake")
+include("/root/repo/build/tests/test_mask_bathtub[1]_include.cmake")
+include("/root/repo/build/tests/test_clock_shifter[1]_include.cmake")
+include("/root/repo/build/tests/test_fast_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_ddj_resample[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_freq_response[1]_include.cmake")
+include("/root/repo/build/tests/test_cdr_sj[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")

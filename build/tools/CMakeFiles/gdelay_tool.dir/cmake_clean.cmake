@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdelay_tool.dir/gdelay_tool.cpp.o"
+  "CMakeFiles/gdelay_tool.dir/gdelay_tool.cpp.o.d"
+  "gdelay_tool"
+  "gdelay_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdelay_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

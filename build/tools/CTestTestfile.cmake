@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_characterize "/root/repo/build/tools/gdelay_tool" "characterize" "--bits" "48")
+set_tests_properties(cli_characterize PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_calibrate_plan_roundtrip "/usr/bin/cmake" "-DTOOL=/root/repo/build/tools/gdelay_tool" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_roundtrip.cmake")
+set_tests_properties(cli_calibrate_plan_roundtrip PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_deskew "/root/repo/build/tools/gdelay_tool" "deskew" "--lanes" "2" "--bits" "64")
+set_tests_properties(cli_deskew PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/gdelay_tool" "nonsense")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
