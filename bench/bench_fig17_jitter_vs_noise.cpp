@@ -2,6 +2,7 @@
 // amplitude. The paper shows an approximately linear characteristic,
 // reaching ~40+ ps of added jitter near 1 Vpp.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/jitter_injector.h"
@@ -9,6 +10,7 @@
 #include "signal/pattern.h"
 #include "signal/synth.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace gdelay;
 
@@ -40,14 +42,25 @@ int main() {
     return tj - tj0;
   };
 
+  // Every (amplitude, seed) trial builds its own injector from its own
+  // Rng(900 + seed) stream — exactly the serial code's seeding — so the
+  // grid fans out across the pool and reduces by index to the same table.
+  std::vector<double> amplitudes;
+  for (double pp = 0.0; pp <= 1.01; pp += 0.1) amplitudes.push_back(pp);
+  constexpr std::size_t kSeeds = 3;
+  const std::vector<double> trial = util::parallel_map(
+      amplitudes.size() * kSeeds, [&](std::size_t i) {
+        return added_for(amplitudes[i / kSeeds], i % kSeeds);
+      });
+
   bench::section("Added jitter vs noise amplitude (3-seed average)");
   std::printf("  %10s %12s   plot\n", "noise(Vpp)", "added TJ(ps)");
-  for (double pp = 0.0; pp <= 1.01; pp += 0.1) {
+  for (std::size_t a = 0; a < amplitudes.size(); ++a) {
     double added = 0.0;
-    for (std::uint64_t s = 0; s < 3; ++s) added += added_for(pp, s);
-    added /= 3.0;
+    for (std::size_t s = 0; s < kSeeds; ++s) added += trial[a * kSeeds + s];
+    added /= static_cast<double>(kSeeds);
     const int stars = added > 0 ? static_cast<int>(added + 0.5) : 0;
-    std::printf("  %10.1f %12.2f   |%.*s*\n", pp, added, stars,
+    std::printf("  %10.1f %12.2f   |%.*s*\n", amplitudes[a], added, stars,
                 "                                                        ");
   }
   std::printf(

@@ -81,6 +81,10 @@ class VariableGainBuffer final : public AnalogElement {
 
   const VgaBufferConfig& config() const { return cfg_; }
 
+  /// Independent deterministic noise stream for a cloned stage (see
+  /// NoiseSource::fork_noise).
+  void fork_noise(std::uint64_t stream) { noise_.fork_noise(stream); }
+
   void reset() override;
   double step(double vin, double dt_ps) override;
 
@@ -117,6 +121,9 @@ class LimitingBuffer final : public AnalogElement {
   LimitingBuffer(const LimitingBufferConfig& cfg, util::Rng rng);
 
   const LimitingBufferConfig& config() const { return cfg_; }
+
+  /// Independent deterministic noise stream for a cloned buffer.
+  void fork_noise(std::uint64_t stream) { noise_.fork_noise(stream); }
 
   void reset() override;
   double step(double vin, double dt_ps) override;

@@ -51,6 +51,13 @@ class NoiseSource {
 
   double sigma_v() const { return sigma_; }
 
+  /// Deterministically switches to an independent noise stream derived
+  /// from the current one. Cloned elements share their parent's RNG
+  /// state; forking each clone with a distinct `stream` restores
+  /// statistically independent noise per clone while staying exactly
+  /// reproducible (the parallel sweeps fork by sweep-point index).
+  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }
+
   void reset();
   /// Next noise sample, advancing dt picoseconds.
   double step(double dt_ps);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "measure/delay_meter.h"
+#include "util/thread_pool.h"
 
 namespace gdelay::core {
 namespace {
@@ -14,6 +15,45 @@ meas::DelayMeterOptions meter_options(double settle_ps) {
   meas::DelayMeterOptions o;
   o.settle_ps = settle_ps;
   return o;
+}
+
+// Shared sweep engine behind both measure_fine_curve overloads. Each
+// sweep point gets its own CLONE of the device (FineDelayLine and
+// VariableDelayChannel are value types), programmed to its Vctrl and
+// processed independently, so the points are embarrassingly parallel and
+// the result is bit-identical for any thread count. Point 0 sits at
+// Vctrl = 0 and doubles as the baseline the curve is referenced to.
+template <typename Device>
+util::Curve sweep_fine_curve(const Device& dev, const sig::Waveform& stimulus,
+                             int n_points, double settle_ps) {
+  if (n_points < 3)
+    throw std::invalid_argument("DelayCalibrator: need >= 3 sweep points");
+  const double vmax = dev.vctrl_max();
+  const auto opts = meter_options(settle_ps);
+
+  std::vector<double> xs(static_cast<std::size_t>(n_points));
+  for (int i = 0; i < n_points; ++i)
+    xs[static_cast<std::size_t>(i)] =
+        vmax * static_cast<double>(i) / static_cast<double>(n_points - 1);
+
+  // Forking by sweep index keeps the per-point noise realizations
+  // statistically independent (as successive runs of the serial code
+  // were) while remaining a pure function of the index — the source of
+  // the bit-identical-at-any-thread-count guarantee.
+  std::vector<double> ys = util::parallel_map(
+      xs.size(), [&](std::size_t i) {
+        Device clone = dev;
+        clone.fork_noise(i);
+        clone.set_vctrl(xs[i]);
+        const auto out = clone.process(stimulus);
+        return meas::measure_delay(stimulus, out, opts).mean_ps;
+      });
+
+  const double d0 = ys.front();  // baseline: the Vctrl = 0 point
+  for (double& y : ys) y -= d0;
+  // The physical characteristic is monotone; clean residual measurement
+  // noise off the flat ends before the curve is used for inversion.
+  return util::Curve(std::move(xs), std::move(ys)).monotonicized();
 }
 
 }  // namespace
@@ -90,136 +130,82 @@ DelaySetting ChannelCalibration::plan(double relative_delay_ps) const {
 }
 
 util::Curve DelayCalibrator::measure_fine_curve(
-    FineDelayLine& line, const sig::Waveform& stimulus) const {
-  if (opt_.n_vctrl_points < 3)
-    throw std::invalid_argument("DelayCalibrator: need >= 3 sweep points");
-  const double saved = line.vctrl();
-  const double vmax = line.vctrl_max();
-
-  // Baseline at Vctrl = 0.
-  line.set_vctrl(0.0);
-  const auto base = line.process(stimulus);
-  const double d0 =
-      meas::measure_delay(stimulus, base, meter_options(opt_.settle_ps))
-          .mean_ps;
-
-  std::vector<double> xs, ys;
-  xs.reserve(static_cast<std::size_t>(opt_.n_vctrl_points));
-  ys.reserve(static_cast<std::size_t>(opt_.n_vctrl_points));
-  for (int i = 0; i < opt_.n_vctrl_points; ++i) {
-    const double v = vmax * static_cast<double>(i) /
-                     static_cast<double>(opt_.n_vctrl_points - 1);
-    line.set_vctrl(v);
-    const auto out = line.process(stimulus);
-    const double d =
-        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
-            .mean_ps;
-    xs.push_back(v);
-    ys.push_back(d - d0);
-  }
-  line.set_vctrl(saved);
-  // The physical characteristic is monotone; clean residual measurement
-  // noise off the flat ends before the curve is used for inversion.
-  return util::Curve(std::move(xs), std::move(ys)).monotonicized();
+    const FineDelayLine& line, const sig::Waveform& stimulus) const {
+  return sweep_fine_curve(line, stimulus, opt_.n_vctrl_points,
+                          opt_.settle_ps);
 }
 
 util::Curve DelayCalibrator::measure_fine_curve(
-    VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
-  if (opt_.n_vctrl_points < 3)
-    throw std::invalid_argument("DelayCalibrator: need >= 3 sweep points");
-  const double saved = ch.vctrl();
-  const double vmax = ch.vctrl_max();
-
-  ch.set_vctrl(0.0);
-  const auto base = ch.process(stimulus);
-  const double d0 =
-      meas::measure_delay(stimulus, base, meter_options(opt_.settle_ps))
-          .mean_ps;
-
-  std::vector<double> xs, ys;
-  for (int i = 0; i < opt_.n_vctrl_points; ++i) {
-    const double v = vmax * static_cast<double>(i) /
-                     static_cast<double>(opt_.n_vctrl_points - 1);
-    ch.set_vctrl(v);
-    const auto out = ch.process(stimulus);
-    const double d =
-        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
-            .mean_ps;
-    xs.push_back(v);
-    ys.push_back(d - d0);
-  }
-  ch.set_vctrl(saved);
-  return util::Curve(std::move(xs), std::move(ys)).monotonicized();
+    const VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
+  return sweep_fine_curve(ch, stimulus, opt_.n_vctrl_points, opt_.settle_ps);
 }
 
 ChannelCalibration DelayCalibrator::calibrate(
-    VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
-  const int saved_tap = ch.selected_tap();
-  const double saved_vctrl = ch.vctrl();
-
+    const VariableDelayChannel& ch, const sig::Waveform& stimulus) const {
   ChannelCalibration cal;
   cal.dac = opt_.dac;
 
   // Fine sweep on tap 0.
-  ch.select_tap(0);
-  cal.fine_curve = measure_fine_curve(ch, stimulus);
+  VariableDelayChannel tap0 = ch;
+  tap0.select_tap(0);
+  cal.fine_curve = measure_fine_curve(tap0, stimulus);
 
-  // Absolute latency per tap at Vctrl = 0.
-  ch.set_vctrl(0.0);
-  std::array<double, 4> latency{};
-  for (int tap = 0; tap < 4; ++tap) {
-    ch.select_tap(tap);
-    const auto out = ch.process(stimulus);
-    latency[static_cast<std::size_t>(tap)] =
-        meas::measure_delay(stimulus, out, meter_options(opt_.settle_ps))
-            .mean_ps;
-  }
+  // Absolute latency per tap at Vctrl = 0, one clone per tap.
+  const auto opts = meter_options(opt_.settle_ps);
+  const std::vector<double> latency = util::parallel_map(
+      std::size_t{4}, [&](std::size_t tap) {
+        VariableDelayChannel clone = ch;
+        clone.fork_noise(100 + tap);  // distinct from the sweep streams
+        clone.select_tap(static_cast<int>(tap));
+        clone.set_vctrl(0.0);
+        const auto out = clone.process(stimulus);
+        return meas::measure_delay(stimulus, out, opts).mean_ps;
+      });
   cal.base_latency_ps = latency[0];
-  for (int tap = 0; tap < 4; ++tap)
-    cal.tap_offset_ps[static_cast<std::size_t>(tap)] =
-        latency[static_cast<std::size_t>(tap)] - latency[0];
-
-  ch.select_tap(saved_tap);
-  ch.set_vctrl(saved_vctrl);
+  for (std::size_t tap = 0; tap < 4; ++tap)
+    cal.tap_offset_ps[tap] = latency[tap] - latency[0];
   return cal;
 }
 
 double DelayCalibrator::measure_fine_range(
-    FineDelayLine& line, const sig::Waveform& stimulus) const {
-  const double saved = line.vctrl();
-  line.set_vctrl(0.0);
-  const auto lo = line.process(stimulus);
-  line.set_vctrl(line.vctrl_max());
-  const auto hi = line.process(stimulus);
-  line.set_vctrl(saved);
+    const FineDelayLine& line, const sig::Waveform& stimulus) const {
   const auto opts = meter_options(opt_.settle_ps);
-  return meas::measure_delay(stimulus, hi, opts).mean_ps -
-         meas::measure_delay(stimulus, lo, opts).mean_ps;
+  const std::vector<double> ends = util::parallel_map(
+      std::size_t{2}, [&](std::size_t i) {
+        FineDelayLine clone = line;
+        clone.fork_noise(i);
+        clone.set_vctrl(i == 0 ? 0.0 : line.vctrl_max());
+        const auto out = clone.process(stimulus);
+        return meas::measure_delay(stimulus, out, opts).mean_ps;
+      });
+  return ends[1] - ends[0];
 }
 
 double DelayCalibrator::measure_fine_range_periodic(
-    FineDelayLine& line, const sig::Waveform& stimulus, double ui_ps,
+    const FineDelayLine& line, const sig::Waveform& stimulus, double ui_ps,
     int n_steps) const {
   if (n_steps < 1)
     throw std::invalid_argument("measure_fine_range_periodic: n_steps >= 1");
-  const double saved = line.vctrl();
   const auto opts = meter_options(opt_.settle_ps);
 
-  line.set_vctrl(0.0);
-  auto prev = line.process(stimulus);
-  double prev_phase = meas::measure_phase_delay(stimulus, prev, ui_ps, opts);
+  // Phase at every sweep point is an independent measurement; only the
+  // wrap-and-accumulate of adjacent deltas is inherently sequential.
+  const std::vector<double> phase = util::parallel_map(
+      static_cast<std::size_t>(n_steps) + 1, [&](std::size_t i) {
+        FineDelayLine clone = line;
+        clone.fork_noise(i);
+        clone.set_vctrl(line.vctrl_max() * static_cast<double>(i) /
+                        static_cast<double>(n_steps));
+        const auto out = clone.process(stimulus);
+        return meas::measure_phase_delay(stimulus, out, ui_ps, opts);
+      });
+
   double total = 0.0;
-  for (int i = 1; i <= n_steps; ++i) {
-    const double v = line.vctrl_max() * static_cast<double>(i) /
-                     static_cast<double>(n_steps);
-    line.set_vctrl(v);
-    auto cur = line.process(stimulus);
-    const double phase =
-        meas::measure_phase_delay(stimulus, cur, ui_ps, opts);
-    total += meas::wrap_delay(phase - prev_phase, ui_ps);
-    prev_phase = phase;
-  }
-  line.set_vctrl(saved);
+  for (int i = 1; i <= n_steps; ++i)
+    total += meas::wrap_delay(
+        phase[static_cast<std::size_t>(i)] -
+            phase[static_cast<std::size_t>(i) - 1],
+        ui_ps);
   return total;
 }
 

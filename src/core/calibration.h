@@ -71,29 +71,35 @@ class DelayCalibrator {
   DelayCalibrator() = default;
   explicit DelayCalibrator(const Options& opt) : opt_(opt) {}
 
+  // All measurements are clone-based: each sweep point runs on its own
+  // copy of the device (they are value types), so the device under test
+  // is never mutated, the points execute in parallel on the global
+  // thread pool (see util/thread_pool.h), and results are bit-identical
+  // for any `GDELAY_THREADS` setting.
+
   /// Fig. 7 measurement: fine delay vs Vctrl (relative to Vctrl = 0).
-  util::Curve measure_fine_curve(FineDelayLine& line,
+  util::Curve measure_fine_curve(const FineDelayLine& line,
                                  const sig::Waveform& stimulus) const;
 
   /// Same sweep on a complete channel at its currently selected tap.
-  util::Curve measure_fine_curve(VariableDelayChannel& ch,
+  util::Curve measure_fine_curve(const VariableDelayChannel& ch,
                                  const sig::Waveform& stimulus) const;
 
   /// Full channel calibration: fine sweep on tap 0 + one run per tap.
-  /// The channel's tap/Vctrl programming is restored afterwards.
-  ChannelCalibration calibrate(VariableDelayChannel& ch,
+  /// The channel's own tap/Vctrl programming is left untouched.
+  ChannelCalibration calibrate(const VariableDelayChannel& ch,
                                const sig::Waveform& stimulus) const;
 
   /// Convenience for the range studies (Figs. 12, 14, 15): delay swing
   /// between Vctrl = 0 and Vctrl = max for the given stimulus.
-  double measure_fine_range(FineDelayLine& line,
+  double measure_fine_range(const FineDelayLine& line,
                             const sig::Waveform& stimulus) const;
 
   /// Range measurement for PERIODIC stimuli (the RZ-clock sweeps of
   /// Figs. 14/15), where edge-order pairing is ambiguous. Sweeps Vctrl in
   /// `n_steps` increments and accumulates phase deltas wrapped into half a
   /// UI — exact as long as each increment moves the delay by < ui/2.
-  double measure_fine_range_periodic(FineDelayLine& line,
+  double measure_fine_range_periodic(const FineDelayLine& line,
                                      const sig::Waveform& stimulus,
                                      double ui_ps, int n_steps = 8) const;
 

@@ -42,6 +42,13 @@ class VariableDelayChannel {
   double vctrl() const { return fine_.vctrl(); }
   double vctrl_max() const { return fine_.vctrl_max(); }
 
+  /// Independent deterministic noise stream for a cloned channel (one
+  /// stream per sweep point in the parallel calibration sweeps).
+  void fork_noise(std::uint64_t stream) {
+    coarse_.fork_noise(stream);
+    fine_.fork_noise(stream);
+  }
+
   void reset();
   double step(double vin, double dt_ps);
   sig::Waveform process(const sig::Waveform& in);

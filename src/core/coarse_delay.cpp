@@ -7,6 +7,7 @@ namespace gdelay::core {
 CoarseDelayBlock::CoarseDelayBlock(const CoarseDelayConfig& cfg,
                                    util::Rng rng)
     : cfg_(cfg), fanout_(cfg.fanout, rng.fork(1)), mux_(cfg.mux, rng.fork(2)) {
+  taps_.reserve(kTaps);
   for (int i = 0; i < kTaps; ++i) {
     const double len = cfg.tap_delay_ps[static_cast<std::size_t>(i)] +
                        cfg.tap_error_ps[static_cast<std::size_t>(i)];
@@ -16,8 +17,7 @@ CoarseDelayBlock::CoarseDelayBlock(const CoarseDelayConfig& cfg,
     tl.delay_ps = len;
     tl.loss_db = analog::trace_loss_db(len, cfg.loss_db_per_100ps);
     tl.dispersion_f3db_ghz = cfg.dispersion_f3db_ghz;
-    taps_[static_cast<std::size_t>(i)] =
-        std::make_unique<analog::TransmissionLine>(tl);
+    taps_.emplace_back(tl);
   }
 }
 
@@ -34,9 +34,14 @@ double CoarseDelayBlock::tap_delay_ps(int tap) const {
          cfg_.tap_error_ps[static_cast<std::size_t>(tap)];
 }
 
+void CoarseDelayBlock::fork_noise(std::uint64_t stream) {
+  fanout_.fork_noise(stream);
+  mux_.fork_noise(stream);
+}
+
 void CoarseDelayBlock::reset() {
   fanout_.reset();
-  for (auto& t : taps_) t->reset();
+  for (auto& t : taps_) t.reset();
   mux_.reset();
 }
 
@@ -44,7 +49,7 @@ double CoarseDelayBlock::step(double vin, double dt_ps) {
   const double fan = fanout_.step(vin, dt_ps);
   double sel = 0.0;
   for (int i = 0; i < kTaps; ++i) {
-    const double v = taps_[static_cast<std::size_t>(i)]->step(fan, dt_ps);
+    const double v = taps_[static_cast<std::size_t>(i)].step(fan, dt_ps);
     if (i == selected_) sel = v;
   }
   return mux_.step(sel, dt_ps);

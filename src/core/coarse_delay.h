@@ -7,7 +7,7 @@
 #pragma once
 
 #include <array>
-#include <memory>
+#include <vector>
 
 #include "analog/buffer.h"
 #include "analog/tline.h"
@@ -53,6 +53,10 @@ class CoarseDelayBlock {
   /// Nominal + error length of a tap.
   double tap_delay_ps(int tap) const;
 
+  /// Independent deterministic noise streams for the active buffers of a
+  /// cloned block (the passive taps carry no noise).
+  void fork_noise(std::uint64_t stream);
+
   void reset();
   /// All four taps are simulated every sample so the selection may change
   /// mid-run, exactly like flipping the real select lines.
@@ -63,7 +67,10 @@ class CoarseDelayBlock {
   CoarseDelayConfig cfg_;
   int selected_ = 0;
   analog::LimitingBuffer fanout_;
-  std::array<std::unique_ptr<analog::TransmissionLine>, 4> taps_;
+  // Held by value so the block (and the channel around it) is copyable:
+  // the parallel calibration sweeps clone one programmed channel per
+  // sweep point.
+  std::vector<analog::TransmissionLine> taps_;
   analog::LimitingBuffer mux_;
 };
 

@@ -30,6 +30,11 @@ double FineDelayLine::stage_vctrl(int stage) const {
   return stages_.at(static_cast<std::size_t>(stage)).vctrl();
 }
 
+void FineDelayLine::fork_noise(std::uint64_t stream) {
+  for (auto& s : stages_) s.fork_noise(stream);
+  out_.fork_noise(stream);
+}
+
 void FineDelayLine::reset() {
   for (auto& s : stages_) s.reset();
   out_.reset();

@@ -46,6 +46,11 @@ class FineDelayLine {
   void set_stage_vctrl(int stage, double v);
   double stage_vctrl(int stage) const;
 
+  /// Switches every stage (and the output buffer) to an independent
+  /// deterministic noise stream — used to decorrelate clones in the
+  /// parallel calibration sweeps (one stream per sweep point).
+  void fork_noise(std::uint64_t stream);
+
   void reset();
   double step(double vin, double dt_ps);
 

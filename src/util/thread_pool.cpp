@@ -1,0 +1,189 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gdelay::util {
+namespace {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("GDELAY_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+// One parallel_for call. Indices are claimed atomically by whichever
+// thread (worker or submitter) gets there first; completion and the
+// winning exception are tracked under the batch mutex.
+struct Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  void run_index(std::size_t i) {
+    std::exception_ptr err;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(m);
+    if (err && i < error_index) {
+      error = err;
+      error_index = i;
+    }
+    if (++done == n) done_cv.notify_all();
+  }
+
+  /// Claims and runs indices until none are left.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      run_index(i);
+    }
+  }
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= n;
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Batch>> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+  int threads = 1;
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (stopping) return;
+        batch = queue.front();
+        if (batch->exhausted()) {
+          // Fully claimed already — retire it and look again.
+          queue.pop_front();
+          continue;
+        }
+      }
+      batch->drain();
+    }
+  }
+
+  void start(int n) {
+    threads = n;
+    for (int i = 0; i < n - 1; ++i)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto& w : workers) w.join();
+    workers.clear();
+    stopping = false;
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int n_threads) : impl_(new Impl) {
+  if (n_threads < 1)
+    throw std::invalid_argument("ThreadPool: need >= 1 thread");
+  impl_->start(n_threads);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->stop();
+  delete impl_;
+}
+
+void ThreadPool::set_thread_count(int n) {
+  if (n < 1) throw std::invalid_argument("ThreadPool: need >= 1 thread");
+  if (n == impl_->threads) return;
+  impl_->stop();
+  impl_->start(n);
+}
+
+int ThreadPool::thread_count() const { return impl_->threads; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_->threads == 1 || n == 1) {
+    // Serial fast path: run inline, exceptions propagate naturally (the
+    // first failing index throws, matching the pool's lowest-index rule).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->queue.push_back(batch);
+  }
+  impl_->work_cv.notify_all();
+
+  // Participate: the submitter claims indices alongside the workers, so a
+  // nested parallel_for issued from a worker always makes progress.
+  batch->drain();
+
+  {
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->done_cv.wait(lock, [&] { return batch->done == batch->n; });
+  }
+  {
+    // Retire the batch if it is still queued (all indices are claimed).
+    std::lock_guard<std::mutex> lock(impl_->m);
+    for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
+      if (it->get() == batch.get()) {
+        impl_->queue.erase(it);
+        break;
+      }
+    }
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+int thread_count() { return ThreadPool::instance().thread_count(); }
+
+void set_thread_count(int n) { ThreadPool::instance().set_thread_count(n); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::instance().parallel_for(n, fn);
+}
+
+}  // namespace gdelay::util

@@ -1,0 +1,80 @@
+// Deterministic parallel execution for embarrassingly parallel sweeps.
+//
+// The calibration sweeps, board bring-up and Monte Carlo benches all have
+// the same shape: N independent tasks whose results are consumed in index
+// order. `parallel_for` / `parallel_map` run such a batch on a fixed-size
+// worker pool and collect results BY INDEX, so the output is bit-identical
+// to serial execution no matter how many threads run or how the OS
+// schedules them. Determinism is the contract: a `GDELAY_THREADS=1` run
+// and an N-thread run must produce byte-identical numbers.
+//
+// Design notes:
+//  - The submitting thread participates in executing its own batch, so a
+//    pool of T threads yields T-way concurrency with T-1 workers, and
+//    nested `parallel_for` calls (a worker submitting a sub-batch) can
+//    never deadlock: every batch's submitter drains whatever the workers
+//    do not pick up.
+//  - Exceptions propagate: the exception thrown by the LOWEST failing
+//    index is rethrown on the submitting thread (lowest-index selection
+//    keeps even the error path deterministic).
+//  - Thread count: `GDELAY_THREADS` env var at first use, overridable at
+//    runtime via `set_thread_count()`; defaults to hardware_concurrency.
+//    A count of 1 bypasses the pool entirely (pure serial execution).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace gdelay::util {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by the free helpers below.
+  static ThreadPool& instance();
+
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Resizes the pool. `n >= 1`; 1 means run everything inline.
+  void set_thread_count(int n);
+  int thread_count() const;
+
+  /// Runs `fn(0) .. fn(n-1)` across the pool and blocks until every call
+  /// has finished. Rethrows the exception of the lowest failing index.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Threads used by the global pool (env `GDELAY_THREADS`, else hardware).
+int thread_count();
+/// Reconfigures the global pool (n >= 1; 1 = serial).
+void set_thread_count(int n);
+
+/// `ThreadPool::instance().parallel_for`.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Maps `fn` over [0, n) on the global pool; results are returned in
+/// index order, so the output equals the serial `for` loop exactly.
+template <typename F>
+auto parallel_map(std::size_t n, F&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using T = decltype(fn(std::size_t{0}));
+  std::vector<std::optional<T>> slots(n);
+  parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<T> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace gdelay::util

@@ -1,0 +1,122 @@
+// The determinism contract of the parallel calibration engine: a
+// GDELAY_THREADS=1 run and an N-thread run of the same bring-up flow
+// must produce byte-identical calibration results. CI runs this suite
+// with GDELAY_THREADS=4 as well; the explicit set_thread_count calls
+// below make the comparison self-contained either way.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/board.h"
+#include "core/calibration.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gu = gdelay::util;
+using gdelay::util::Rng;
+
+namespace {
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ bitwise";
+}
+
+void expect_identical(const gc::ChannelCalibration& a,
+                      const gc::ChannelCalibration& b) {
+  EXPECT_TRUE(bits_equal(a.base_latency_ps, b.base_latency_ps));
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_TRUE(bits_equal(a.tap_offset_ps[t], b.tap_offset_ps[t]));
+  ASSERT_EQ(a.fine_curve.xs().size(), b.fine_curve.xs().size());
+  for (std::size_t i = 0; i < a.fine_curve.xs().size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.fine_curve.xs()[i], b.fine_curve.xs()[i]));
+    EXPECT_TRUE(bits_equal(a.fine_curve.ys()[i], b.fine_curve.ys()[i]));
+  }
+}
+
+gs::SynthResult stimulus() {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  return gs::synthesize_nrz(gs::prbs(7, 48), sc);
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, BoardCalibrateIsBitIdenticalAcrossThreadCounts) {
+  const auto stim = stimulus();
+  gc::DelayBoardConfig bcfg;
+  bcfg.n_channels = 3;
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 5;
+
+  gc::DelayBoard board(bcfg, Rng(42));
+  gu::set_thread_count(1);
+  const std::vector<gc::ChannelCalibration> serial =
+      board.calibrate(stim.wf, o);
+
+  for (int threads : {2, 4, 8}) {
+    gu::set_thread_count(threads);
+    const std::vector<gc::ChannelCalibration> parallel =
+        board.calibrate(stim.wf, o);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    for (std::size_t c = 0; c < serial.size(); ++c)
+      expect_identical(serial[c], parallel[c]);
+  }
+  gu::set_thread_count(1);
+}
+
+TEST(ParallelDeterminism, FineCurveSweepIsBitIdenticalAcrossThreadCounts) {
+  const auto stim = stimulus();
+  gc::FineDelayLine line(gc::FineDelayConfig{}, Rng(7));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 7;
+  const gc::DelayCalibrator cal(o);
+
+  gu::set_thread_count(1);
+  const auto serial = cal.measure_fine_curve(line, stim.wf);
+  gu::set_thread_count(4);
+  const auto parallel = cal.measure_fine_curve(line, stim.wf);
+  gu::set_thread_count(1);
+
+  ASSERT_EQ(serial.xs().size(), parallel.xs().size());
+  for (std::size_t i = 0; i < serial.xs().size(); ++i) {
+    EXPECT_TRUE(bits_equal(serial.xs()[i], parallel.xs()[i]));
+    EXPECT_TRUE(bits_equal(serial.ys()[i], parallel.ys()[i]));
+  }
+}
+
+TEST(ParallelDeterminism, CalibrationLeavesTheChannelUntouched) {
+  const auto stim = stimulus();
+  gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(3));
+  ch.select_tap(2);
+  ch.set_vctrl(0.9);
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 5;
+  gu::set_thread_count(4);
+  (void)gc::DelayCalibrator(o).calibrate(ch, stim.wf);
+  gu::set_thread_count(1);
+  EXPECT_EQ(ch.selected_tap(), 2);
+  EXPECT_DOUBLE_EQ(ch.vctrl(), 0.9);
+}
+
+TEST(ParallelDeterminism, RepeatedCalibrationOfSameChannelIsIdentical) {
+  // Clone-based sweeps never advance the device's own RNG, so
+  // calibration is a pure function of (channel, stimulus).
+  const auto stim = stimulus();
+  gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(11));
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 5;
+  const gc::DelayCalibrator cal(o);
+  gu::set_thread_count(2);
+  const auto first = cal.calibrate(ch, stim.wf);
+  const auto second = cal.calibrate(ch, stim.wf);
+  gu::set_thread_count(1);
+  expect_identical(first, second);
+}

@@ -1,0 +1,112 @@
+// Contract tests for the deterministic parallel execution layer:
+// ordered results, empty ranges, exception propagation (lowest index
+// wins), nested-call safety, and runtime thread-count control.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace gu = gdelay::util;
+
+namespace {
+
+// Every test runs at both 1 thread (serial fast path) and 4 threads (the
+// pooled path) — the two must be observationally identical.
+class ThreadPoolBothModes : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { gu::set_thread_count(GetParam()); }
+  void TearDown() override { gu::set_thread_count(1); }
+};
+
+}  // namespace
+
+TEST_P(ThreadPoolBothModes, EmptyRangeCallsNothing) {
+  std::atomic<int> calls{0};
+  gu::parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(gu::parallel_map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST_P(ThreadPoolBothModes, MapReturnsResultsInIndexOrder) {
+  const auto out =
+      gu::parallel_map(100, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST_P(ThreadPoolBothModes, EveryIndexRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  gu::parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolBothModes, ExceptionPropagatesLowestIndex) {
+  // Indices 10, 40 and 70 all throw; the submitter must observe index
+  // 10's exception regardless of scheduling.
+  try {
+    gu::parallel_for(100, [](std::size_t i) {
+      if (i % 30 == 10)
+        throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 10");
+  }
+}
+
+TEST_P(ThreadPoolBothModes, ExceptionDoesNotPoisonThePool) {
+  EXPECT_THROW(
+      gu::parallel_for(8, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  // The pool keeps working after a failed batch.
+  const auto out = gu::parallel_map(8, [](std::size_t i) { return i; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), 28u);
+}
+
+TEST_P(ThreadPoolBothModes, NestedCallsAreSafeAndComplete) {
+  // A worker submitting a sub-batch must not deadlock: submitters
+  // participate in their own batches, so progress is guaranteed even
+  // when every worker is blocked inside an outer task.
+  std::vector<std::atomic<int>> hits(6 * 7);
+  gu::parallel_for(6, [&](std::size_t outer) {
+    gu::parallel_for(7, [&](std::size_t inner) {
+      ++hits[outer * 7 + inner];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolBothModes, NestedMapMatchesSerialArithmetic) {
+  const auto table = gu::parallel_map(5, [](std::size_t outer) {
+    const auto inner = gu::parallel_map(
+        9, [outer](std::size_t i) { return outer * 100 + i; });
+    return std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+  });
+  for (std::size_t outer = 0; outer < table.size(); ++outer)
+    EXPECT_EQ(table[outer], outer * 900 + 36);
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndPooled, ThreadPoolBothModes,
+                         ::testing::Values(1, 4));
+
+TEST(ThreadPool, ThreadCountIsRuntimeConfigurable) {
+  gu::set_thread_count(3);
+  EXPECT_EQ(gu::thread_count(), 3);
+  gu::set_thread_count(1);
+  EXPECT_EQ(gu::thread_count(), 1);
+  EXPECT_THROW(gu::set_thread_count(0), std::invalid_argument);
+  EXPECT_EQ(gu::thread_count(), 1);
+}
+
+TEST(ThreadPool, StandalonePoolIsIndependentOfGlobal) {
+  gu::ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2);
+  std::vector<std::atomic<int>> hits(32);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
