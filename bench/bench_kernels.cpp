@@ -1,0 +1,223 @@
+// Kernel throughput: per-sample step() vs the block-processing path, for
+// each analog element and the full composites, at the default simulation
+// step dt = 0.25 ps. Both paths are byte-identical by contract (enforced
+// by tests/test_block_kernels.cpp); this harness measures what the
+// contract costs — and what hoisting the dt-dependent coefficients,
+// batching the Gaussian draws and running stage-major buys back.
+//
+// Emits BENCH_kernels.json with samples/s per kernel and the headline
+// FineDelayLine block-vs-step speedup (target: >= 3x single-thread).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analog/buffer.h"
+#include "analog/coupling.h"
+#include "analog/primitives.h"
+#include "bench/gbench_json.h"
+#include "core/channel.h"
+#include "core/fine_delay.h"
+#include "util/rng.h"
+
+namespace ga = gdelay::analog;
+namespace gc = gdelay::core;
+using gdelay::util::Rng;
+
+namespace {
+
+constexpr std::size_t kN = 16384;  // samples per iteration
+constexpr double kDt = 0.25;       // ps — the tier-1 default step
+
+const std::vector<double>& stim() {
+  static const std::vector<double> v = [] {
+    std::vector<double> s(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      const double t = static_cast<double>(i);
+      s[i] = 0.35 * std::sin(0.07 * t) + 0.15 * std::sin(0.011 * t + 0.5) +
+             ((i / 37) % 2 ? 0.2 : -0.2);
+    }
+    return s;
+  }();
+  return v;
+}
+
+template <typename E>
+void run_step(benchmark::State& state, E& e) {
+  const auto& in = stim();
+  std::vector<double> out(in.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = e.step(in[i], kDt);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * in.size()));
+}
+
+// Chunked exactly like run_blocked() so the measurement reflects the
+// production process() path, not one giant flat call.
+template <typename E>
+void run_block(benchmark::State& state, E& e) {
+  const auto& in = stim();
+  std::vector<double> out(in.size());
+  for (auto _ : state) {
+    for (std::size_t o = 0; o < in.size(); o += ga::kBlockSamples)
+      e.process_block(in.data() + o, out.data() + o,
+                      std::min(ga::kBlockSamples, in.size() - o), kDt);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * in.size()));
+}
+
+void SinglePoleFilter_step(benchmark::State& s) {
+  ga::SinglePoleFilter f(9.0);
+  run_step(s, f);
+}
+void SinglePoleFilter_block(benchmark::State& s) {
+  ga::SinglePoleFilter f(9.0);
+  run_block(s, f);
+}
+BENCHMARK(SinglePoleFilter_step);
+BENCHMARK(SinglePoleFilter_block);
+
+void TanhLimiter_step(benchmark::State& s) {
+  ga::TanhLimiter l(2.5, 0.5);
+  run_step(s, l);
+}
+void TanhLimiter_block(benchmark::State& s) {
+  ga::TanhLimiter l(2.5, 0.5);
+  run_block(s, l);
+}
+BENCHMARK(TanhLimiter_step);
+BENCHMARK(TanhLimiter_block);
+
+void SlewRateLimiter_step(benchmark::State& s) {
+  ga::SlewRateLimiter l(0.005, 20.0, 300.0);
+  run_step(s, l);
+}
+void SlewRateLimiter_block(benchmark::State& s) {
+  ga::SlewRateLimiter l(0.005, 20.0, 300.0);
+  run_block(s, l);
+}
+BENCHMARK(SlewRateLimiter_step);
+BENCHMARK(SlewRateLimiter_block);
+
+void FractionalDelay_step(benchmark::State& s) {
+  ga::FractionalDelay d(33.0);
+  run_step(s, d);
+}
+void FractionalDelay_block(benchmark::State& s) {
+  ga::FractionalDelay d(33.0);
+  run_block(s, d);
+}
+BENCHMARK(FractionalDelay_step);
+BENCHMARK(FractionalDelay_block);
+
+void NoiseSource_step(benchmark::State& s) {
+  ga::NoiseSource n(0.012, 7.5, Rng(1));
+  std::vector<double> out(kN);
+  for (auto _ : s) {
+    for (std::size_t i = 0; i < kN; ++i) out[i] = n.step(kDt);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  s.SetItemsProcessed(static_cast<int64_t>(s.iterations() * kN));
+}
+void NoiseSource_block(benchmark::State& s) {
+  ga::NoiseSource n(0.012, 7.5, Rng(1));
+  std::vector<double> out(kN);
+  for (auto _ : s) {
+    for (std::size_t o = 0; o < kN; o += ga::kBlockSamples)
+      n.process_block(out.data() + o, std::min(ga::kBlockSamples, kN - o),
+                      kDt);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  s.SetItemsProcessed(static_cast<int64_t>(s.iterations() * kN));
+}
+BENCHMARK(NoiseSource_step);
+BENCHMARK(NoiseSource_block);
+
+void VariableGainBuffer_step(benchmark::State& s) {
+  ga::VariableGainBuffer b(ga::VgaBufferConfig{}, Rng(2));
+  b.set_vctrl(0.9);
+  run_step(s, b);
+}
+void VariableGainBuffer_block(benchmark::State& s) {
+  ga::VariableGainBuffer b(ga::VgaBufferConfig{}, Rng(2));
+  b.set_vctrl(0.9);
+  run_block(s, b);
+}
+BENCHMARK(VariableGainBuffer_step);
+BENCHMARK(VariableGainBuffer_block);
+
+void LimitingBuffer_step(benchmark::State& s) {
+  ga::LimitingBuffer b(ga::LimitingBufferConfig{}, Rng(3));
+  run_step(s, b);
+}
+void LimitingBuffer_block(benchmark::State& s) {
+  ga::LimitingBuffer b(ga::LimitingBufferConfig{}, Rng(3));
+  run_block(s, b);
+}
+BENCHMARK(LimitingBuffer_step);
+BENCHMARK(LimitingBuffer_block);
+
+void FineDelayLine_step(benchmark::State& s) {
+  gc::FineDelayLine line(gc::FineDelayConfig{}, Rng(4));
+  line.set_vctrl(0.75);
+  run_step(s, line);
+}
+void FineDelayLine_block(benchmark::State& s) {
+  gc::FineDelayLine line(gc::FineDelayConfig{}, Rng(4));
+  line.set_vctrl(0.75);
+  run_block(s, line);
+}
+BENCHMARK(FineDelayLine_step);
+BENCHMARK(FineDelayLine_block);
+
+void VariableDelayChannel_step(benchmark::State& s) {
+  gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(5));
+  ch.set_vctrl(0.75);
+  run_step(s, ch);
+}
+void VariableDelayChannel_block(benchmark::State& s) {
+  gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(5));
+  ch.set_vctrl(0.75);
+  run_block(s, ch);
+}
+BENCHMARK(VariableDelayChannel_step);
+BENCHMARK(VariableDelayChannel_block);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  gdelay::bench::CaptureReporter rep;
+  benchmark::RunSpecifiedBenchmarks(&rep);
+
+  const auto speedup_of = [&](const char* base) {
+    const double st = rep.items_per_sec(std::string(base) + "_step");
+    const double bl = rep.items_per_sec(std::string(base) + "_block");
+    return st > 0.0 ? bl / st : 0.0;
+  };
+  const double fine = speedup_of("FineDelayLine");
+  const double chan = speedup_of("VariableDelayChannel");
+
+  std::printf("\nblock-vs-step speedup at dt = %.2f ps:\n", kDt);
+  std::printf("  FineDelayLine       : %.2fx (target >= 3x)  %s\n", fine,
+              fine >= 3.0 ? "PASS" : "MISS");
+  std::printf("  VariableDelayChannel: %.2fx\n", chan);
+
+  gdelay::bench::write_gbench_json(
+      "BENCH_kernels.json", "kernels", rep.rows,
+      {{"dt_ps", kDt},
+       {"fine_delay_block_speedup", fine},
+       {"channel_block_speedup", chan},
+       {"speedup_target", 3.0}});
+  benchmark::Shutdown();
+  return 0;
+}

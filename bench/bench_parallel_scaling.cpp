@@ -26,6 +26,7 @@ namespace {
 struct Run {
   int threads = 0;
   double wall_ms = 0.0;
+  double samples_per_sec = 0.0;
   std::vector<core::ChannelCalibration> cals;
 };
 
@@ -71,9 +72,20 @@ int main() {
   if (hw > 4) counts.push_back(hw);
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
+  // Analog samples pushed through VariableDelayChannel::process per
+  // calibrate() call: one base-latency pass, one per tap, one per sweep
+  // point — per channel. Fixed by construction, so samples/s derived
+  // from it is comparable across PRs regardless of sweep internals.
+  const double cal_samples =
+      static_cast<double>(stim.wf.size()) *
+      static_cast<double>(opt.n_vctrl_points + core::CoarseDelayBlock::kTaps +
+                          1) *
+      static_cast<double>(bcfg.n_channels);
+
   std::vector<Run> runs;
   bench::section("Wall time vs threads (4 channels x 17-point sweep + taps)");
-  std::printf("  %8s %12s %9s\n", "threads", "wall(ms)", "speedup");
+  std::printf("  %8s %12s %9s %14s\n", "threads", "wall(ms)", "speedup",
+              "samples/s");
   for (int n : counts) {
     util::set_thread_count(n);
     Run r;
@@ -83,9 +95,11 @@ int main() {
     const auto t1 = std::chrono::steady_clock::now();
     r.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.samples_per_sec = cal_samples / (r.wall_ms * 1e-3);
     runs.push_back(std::move(r));
-    std::printf("  %8d %12.1f %8.2fx\n", n, runs.back().wall_ms,
-                runs.front().wall_ms / runs.back().wall_ms);
+    std::printf("  %8d %12.1f %8.2fx %14.3e\n", n, runs.back().wall_ms,
+                runs.front().wall_ms / runs.back().wall_ms,
+                runs.back().samples_per_sec);
   }
 
   bool deterministic = true;
@@ -112,8 +126,10 @@ int main() {
                  deterministic ? "true" : "false");
     std::fprintf(f, "  \"runs\": [");
     for (std::size_t i = 0; i < runs.size(); ++i)
-      std::fprintf(f, "%s\n    {\"threads\": %d, \"wall_ms\": %.3f}",
-                   i ? "," : "", runs[i].threads, runs[i].wall_ms);
+      std::fprintf(
+          f, "%s\n    {\"threads\": %d, \"wall_ms\": %.3f, \"samples_per_sec\": %.0f}",
+          i ? "," : "", runs[i].threads, runs[i].wall_ms,
+          runs[i].samples_per_sec);
     std::fprintf(f, "\n  ],\n  \"speedup_best\": %.3f\n}\n", speedup);
     std::fclose(f);
     std::printf("  wrote BENCH_parallel.json\n");

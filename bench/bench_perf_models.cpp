@@ -5,6 +5,7 @@
 // studies (millions of bits).
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "core/channel.h"
 #include "core/fine_delay.h"
 #include "fast/edge_model.h"
@@ -106,4 +107,16 @@ BENCHMARK(BM_JitterAnalysis);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: same benchmarks, plus a machine-readable dump of wall time
+// and items/s per benchmark so the model-tier cost ratio is tracked
+// across PRs (items = bits for the channel benches, samples for synth).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  gdelay::bench::CaptureReporter rep;
+  benchmark::RunSpecifiedBenchmarks(&rep);
+  gdelay::bench::write_gbench_json("BENCH_perf_models.json", "perf_models",
+                                   rep.rows);
+  benchmark::Shutdown();
+  return 0;
+}

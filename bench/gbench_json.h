@@ -1,0 +1,80 @@
+// Google-benchmark result capture + compact BENCH_*.json emission.
+//
+// The figure benches hand-roll their JSON; the google-benchmark harnesses
+// (bench_kernels, bench_perf_models) share this reporter instead: it
+// rides along the normal console output, collects per-benchmark wall
+// time and the items/s rate from SetItemsProcessed, and dumps them in
+// the same flat shape every PR's numbers are compared in.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdelay::bench {
+
+struct GbenchRow {
+  std::string name;
+  double wall_ns_per_iter = 0.0;
+  double items_per_sec = 0.0;  ///< 0 when SetItemsProcessed was not called.
+};
+
+/// Console reporter that additionally records every finished run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<GbenchRow> rows;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& r : runs) {
+      if (r.error_occurred) continue;
+      GbenchRow row;
+      row.name = r.benchmark_name();
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      row.wall_ns_per_iter = r.real_accumulated_time / iters * 1e9;
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end())
+        row.items_per_sec = static_cast<double>(it->second);
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// items/s of the named benchmark, or 0 if absent.
+  double items_per_sec(const std::string& name) const {
+    for (const auto& r : rows)
+      if (r.name == name) return r.items_per_sec;
+    return 0.0;
+  }
+};
+
+/// Writes the captured rows (plus optional scalar verdicts) as
+/// BENCH_<name>.json-style output to `path`.
+inline void write_gbench_json(
+    const char* path, const char* bench_name,
+    const std::vector<GbenchRow>& rows,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", bench_name);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"wall_ns_per_iter\": %.1f, "
+                 "\"items_per_sec\": %.0f}",
+                 i ? "," : "", rows[i].name.c_str(), rows[i].wall_ns_per_iter,
+                 rows[i].items_per_sec);
+  std::fprintf(f, "\n  ]");
+  for (const auto& [key, value] : extra)
+    std::fprintf(f, ",\n  \"%s\": %.3f", key.c_str(), value);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace gdelay::bench

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fastmath.h"
+#include "util/scratch.h"
+
 namespace gdelay::analog {
 
 VariableGainBuffer::VariableGainBuffer(const VgaBufferConfig& cfg,
@@ -51,23 +54,85 @@ double VariableGainBuffer::step(double vin, double dt_ps) {
   x += noise_.step(dt_ps);
   // Bias droop: the realized amplitude sags with recent switching
   // activity (fraction of time the output stage was slew-limited).
-  const double a = amplitude() * (1.0 - cfg_.droop_frac * droop_state_);
+  // Written as amp - (amp*frac)*droop rather than amp*(1 - frac*droop):
+  // amp*frac is a pure function of Vctrl, so the block path hoists it
+  // and its fused loop carries one fewer multiply on the serial droop
+  // chain. Both paths share the expression shape, so they agree bitwise.
+  const double amp = amplitude();
+  const double a = amp - (amp * cfg_.droop_frac) * droop_state_;
   // Limiting output stage: saturates at the (drooped) half-swing.
   const double target =
-      a * std::tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+      a * util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
   const double slewed = slew_.step(target, dt_ps);
   const double max_step = cfg_.slew_v_per_ps * dt_ps;
   // Continuous switching-activity measure: |dV| relative to the slew
   // limit, averaged over droop_tau. Smooth (not binary) so the droop
-  // feedback settles instead of hunting.
+  // feedback settles instead of hunting. Multiplying by the reciprocal
+  // (instead of dividing) keeps the expensive divide off the
+  // serially-dependent droop chain in the block path's fused loop —
+  // both paths use the same expression so they stay byte-identical.
+  const double inv_max_step = max_step > 0.0 ? 1.0 / max_step : 0.0;
   double activity = 0.0;
   if (!first_sample_ && max_step > 0.0)
-    activity = std::min(1.0, std::abs(slewed - prev_out_) / max_step);
+    activity = std::min(1.0, std::abs(slewed - prev_out_) * inv_max_step);
   first_sample_ = false;
   prev_out_ = slewed;
   const double alpha = 1.0 - std::exp(-dt_ps / cfg_.droop_tau_ps);
   droop_state_ += alpha * (activity - droop_state_);
   return out_pole_.step(slewed, dt_ps);
+}
+
+void VariableGainBuffer::process_block(const double* in, double* out,
+                                       std::size_t n, double dt_ps) {
+  util::ScratchBuffer noise(n);
+  util::ScratchBuffer lim(n);
+  input_.process_block(in, out, n, dt_ps);
+  lpf_.process_block(out, out, n, dt_ps);
+  noise_.process_block(noise.data(), n, dt_ps);
+  // The limiter argument is feedforward — it depends only on the
+  // filtered input plus noise, not on the droop/slew recursion — so the
+  // tanh pass is hoisted out of the recursion into an elementwise loop
+  // that auto-vectorizes. step() forms `a * det_tanh(arg)` from the same
+  // doubles in the same order, so the split changes nothing bitwise.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = out[i] + noise[i];
+    lim[i] = util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+  }
+  // Hoisted invariants of the fused droop/slew recursion. amplitude() is
+  // a pure function of the fixed Vctrl, and every exp() argument depends
+  // only on dt — the values below are bit-equal to what step() derives
+  // per sample.
+  const double amp = amplitude();
+  const double amp_frac = amp * cfg_.droop_frac;
+  const double max_step = cfg_.slew_v_per_ps * dt_ps;
+  const double inv_max_step = max_step > 0.0 ? 1.0 / max_step : 0.0;
+  const double alpha = 1.0 - std::exp(-dt_ps / cfg_.droop_tau_ps);
+  slew_.prime(dt_ps);
+  // The recursion state is copied into locals for the loop (and written
+  // back after) for the same reason SlewRateLimiter::Primed exists: the
+  // out[i] stores are doubles, so member state touched inside the loop
+  // would be assumed aliased and reloaded every iteration.
+  SlewRateLimiter::Primed sp = slew_.primed();
+  double droop = droop_state_;
+  double prev = prev_out_;
+  bool first = first_sample_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = amp - amp_frac * droop;
+    const double target = a * lim[i];
+    const double slewed = SlewRateLimiter::step_primed(sp, target);
+    double activity = 0.0;
+    if (!first && max_step > 0.0)
+      activity = std::min(1.0, std::abs(slewed - prev) * inv_max_step);
+    first = false;
+    prev = slewed;
+    droop += alpha * (activity - droop);
+    out[i] = slewed;
+  }
+  slew_.commit(sp);
+  droop_state_ = droop;
+  prev_out_ = prev;
+  first_sample_ = first;
+  out_pole_.process_block(out, out, n, dt_ps);
 }
 
 LimitingBuffer::LimitingBuffer(const LimitingBufferConfig& cfg, util::Rng rng)
@@ -92,8 +157,24 @@ double LimitingBuffer::step(double vin, double dt_ps) {
   x = lpf_.step(x, dt_ps);
   x += noise_.step(dt_ps);
   const double target =
-      cfg_.out_swing_v * std::tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+      cfg_.out_swing_v *
+      util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
   return slew_.step(target, dt_ps);
+}
+
+void LimitingBuffer::process_block(const double* in, double* out,
+                                   std::size_t n, double dt_ps) {
+  util::ScratchBuffer noise(n);
+  input_.process_block(in, out, n, dt_ps);
+  lpf_.process_block(out, out, n, dt_ps);
+  noise_.process_block(noise.data(), n, dt_ps);
+  // Elementwise and branch-free (det_tanh): auto-vectorizes on SSE2.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = out[i] + noise[i];
+    out[i] = cfg_.out_swing_v *
+             util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+  }
+  slew_.process_block(out, out, n, dt_ps);
 }
 
 }  // namespace gdelay::analog

@@ -87,6 +87,13 @@ class VariableGainBuffer final : public AnalogElement {
 
   void reset() override;
   double step(double vin, double dt_ps) override;
+  /// Stage-major block path: tanh pair, bandwidth pole and batched noise
+  /// run as whole-block passes; the droop/slew/output recursion — whose
+  /// state feeds back sample-to-sample — runs as one fused scalar loop
+  /// with every dt-dependent coefficient hoisted. Byte-identical to
+  /// step(); Vctrl modulation (jitter injection) stays on the step path.
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
 
  private:
   VgaBufferConfig cfg_;
@@ -127,6 +134,8 @@ class LimitingBuffer final : public AnalogElement {
 
   void reset() override;
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
 
  private:
   LimitingBufferConfig cfg_;

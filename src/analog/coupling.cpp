@@ -1,5 +1,6 @@
 #include "analog/coupling.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -32,6 +33,36 @@ double AcCoupler::step(double vin, double dt_ps) {
   return y_;
 }
 
+void AcCoupler::process_block(const double* in, double* out, std::size_t n,
+                              double dt_ps) {
+  if (dt_ps != blk_dt_) {
+    blk_dt_ = dt_ps;
+    const double tau = 1000.0 / (2.0 * util::kPi * f_hp_);
+    blk_a_ = tau / (tau + dt_ps);
+  }
+  const double a = blk_a_;
+  std::size_t i = 0;
+  if (first_ && n > 0) {
+    x_prev_ = in[0];
+    y_ = 0.0;
+    first_ = false;
+    out[i++] = 0.0;
+  }
+  double y = y_, x_prev = x_prev_;
+  for (; i < n; ++i) {
+    y = a * (y + in[i] - x_prev);
+    x_prev = in[i];
+    out[i] = y;
+  }
+  y_ = y;
+  x_prev_ = x_prev;
+}
+
+void Attenuator::process_block(const double* in, double* out, std::size_t n,
+                               double /*dt_ps*/) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] * factor_;
+}
+
 Attenuator::Attenuator(double loss_db)
     : factor_(util::db_loss_to_factor(loss_db)) {
   if (loss_db < 0.0) throw std::invalid_argument("Attenuator: loss must be >= 0");
@@ -57,10 +88,33 @@ double NoiseSource::step(double dt_ps) {
   return y_;
 }
 
+void NoiseSource::process_block(double* out, std::size_t n, double dt_ps) {
+  if (sigma_ == 0.0) {
+    std::fill(out, out + n, 0.0);
+    return;
+  }
+  if (dt_ps != blk_dt_) {
+    blk_dt_ = dt_ps;
+    const double tau = 1000.0 / (2.0 * util::kPi * bw_);
+    blk_alpha_ = 1.0 - std::exp(-dt_ps / tau);
+    blk_sx_ = sigma_ * std::sqrt((2.0 - blk_alpha_) / blk_alpha_);
+  }
+  const double alpha = blk_alpha_;
+  rng_.fill_gaussian(out, n, 0.0, blk_sx_);
+  double y = y_;
+  for (std::size_t i = 0; i < n; ++i) {
+    y += alpha * (out[i] - y);
+    out[i] = y;
+  }
+  y_ = y;
+}
+
 sig::Waveform NoiseSource::waveform(double t0_ps, double dt_ps,
                                     std::size_t n) {
   sig::Waveform wf(t0_ps, dt_ps, n);
-  for (std::size_t i = 0; i < n; ++i) wf[i] = step(dt_ps);
+  for (std::size_t o = 0; o < n; o += kBlockSamples)
+    process_block(wf.samples().data() + o, std::min(kBlockSamples, n - o),
+                  dt_ps);
   return wf;
 }
 

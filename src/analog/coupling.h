@@ -19,12 +19,16 @@ class AcCoupler final : public AnalogElement {
   explicit AcCoupler(double f_hp_ghz);
   void reset() override;
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
 
  private:
   double f_hp_;
   double x_prev_ = 0.0;
   double y_ = 0.0;
   bool first_ = true;
+  double blk_dt_ = 0.0;
+  double blk_a_ = 0.0;
 };
 
 /// Flat attenuation (e.g. the series measurement resistors the paper notes
@@ -35,6 +39,8 @@ class Attenuator final : public AnalogElement {
   explicit Attenuator(double loss_db);
   void reset() override {}
   double step(double vin, double /*dt_ps*/) override { return vin * factor_; }
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double factor() const { return factor_; }
 
  private:
@@ -62,6 +68,10 @@ class NoiseSource {
   /// Next noise sample, advancing dt picoseconds.
   double step(double dt_ps);
 
+  /// `n` noise samples at once — byte-identical to `n` step(dt_ps) calls,
+  /// with the filter coefficients hoisted and the Gaussian draws batched.
+  void process_block(double* out, std::size_t n, double dt_ps);
+
   /// Renders `n` samples as a waveform on the given grid.
   sig::Waveform waveform(double t0_ps, double dt_ps, std::size_t n);
 
@@ -70,6 +80,9 @@ class NoiseSource {
   double bw_;
   util::Rng rng_;
   double y_ = 0.0;
+  double blk_dt_ = 0.0;
+  double blk_alpha_ = 0.0;
+  double blk_sx_ = 0.0;
 };
 
 }  // namespace gdelay::analog

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/scratch.h"
+
 namespace gdelay::analog {
 
 DifferentialImbalance::DifferentialImbalance(
@@ -29,6 +31,19 @@ double DifferentialImbalance::step(double vin, double dt_ps) {
   const double gp = 1.0 + cfg_.gain_mismatch_frac / 2.0;
   const double gn = 1.0 - cfg_.gain_mismatch_frac / 2.0;
   return gp * p - gn * n + cfg_.offset_v;
+}
+
+void DifferentialImbalance::process_block(const double* in, double* out,
+                                          std::size_t n, double dt_ps) {
+  util::ScratchBuffer p(n), m(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = in[i] / 2.0;
+  for (std::size_t i = 0; i < n; ++i) m[i] = -in[i] / 2.0;
+  p_leg_.process_block(p.data(), p.data(), n, dt_ps);
+  n_leg_.process_block(m.data(), m.data(), n, dt_ps);
+  const double gp = 1.0 + cfg_.gain_mismatch_frac / 2.0;
+  const double gn = 1.0 - cfg_.gain_mismatch_frac / 2.0;
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = gp * p[i] - gn * m[i] + cfg_.offset_v;
 }
 
 }  // namespace gdelay::analog

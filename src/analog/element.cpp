@@ -2,12 +2,17 @@
 
 namespace gdelay::analog {
 
+void AnalogElement::process_block(const double* in, double* out,
+                                  std::size_t n, double dt_ps) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = step(in[i], dt_ps);
+}
+
 sig::Waveform AnalogElement::process(const sig::Waveform& in) {
   reset();
-  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
-  for (std::size_t i = 0; i < in.size(); ++i)
-    out[i] = step(in[i], in.dt_ps());
-  return out;
+  return run_blocked(in, [this](const double* src, double* dst,
+                                std::size_t n, double dt_ps) {
+    process_block(src, dst, n, dt_ps);
+  });
 }
 
 void Cascade::add(std::unique_ptr<AnalogElement> el) {
@@ -22,6 +27,17 @@ double Cascade::step(double vin, double dt_ps) {
   double v = vin;
   for (auto& s : stages_) v = s->step(v, dt_ps);
   return v;
+}
+
+void Cascade::process_block(const double* in, double* out, std::size_t n,
+                            double dt_ps) {
+  if (stages_.empty()) {
+    if (out != in) std::copy(in, in + n, out);
+    return;
+  }
+  stages_.front()->process_block(in, out, n, dt_ps);
+  for (std::size_t s = 1; s < stages_.size(); ++s)
+    stages_[s]->process_block(out, out, n, dt_ps);
 }
 
 }  // namespace gdelay::analog

@@ -7,14 +7,28 @@
 // opposed to whole-waveform transforms) is what lets a control port such
 // as the delay line's Vctrl vary *during* a run — the mechanism behind the
 // paper's jitter-injection mode.
+//
+// `process_block()` is the performance path: it advances `n` sample
+// periods at once, contractually byte-identical to `n` step() calls (the
+// equivalence is enforced by tests/test_block_kernels.cpp). Overrides
+// hoist dt-dependent coefficients out of the sample loop and batch the
+// noise draws; they are an optimization, never a semantic fork — anything
+// that must vary per sample (Vctrl modulation) stays on the step path.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "signal/waveform.h"
 
 namespace gdelay::analog {
+
+/// Samples per chunk in the blocked waveform paths: big enough to
+/// amortize coefficient derivation and virtual dispatch, small enough
+/// that a handful of stage-major scratch buffers stay cache-resident.
+inline constexpr std::size_t kBlockSamples = 1024;
 
 class AnalogElement {
  public:
@@ -27,9 +41,30 @@ class AnalogElement {
   /// output sample.
   virtual double step(double vin, double dt_ps) = 0;
 
-  /// Runs a whole waveform through a freshly reset element.
+  /// Advances `n` sample periods: out[i] = step(in[i], dt_ps), with
+  /// byte-identical results. `in == out` (in-place) is allowed; other
+  /// overlap is not. `dt_ps` may differ between calls (coefficient caches
+  /// re-derive on change); within one call it is constant by signature.
+  virtual void process_block(const double* in, double* out, std::size_t n,
+                             double dt_ps);
+
+  /// Runs a whole waveform through a freshly reset element (block path).
   sig::Waveform process(const sig::Waveform& in);
 };
+
+/// Runs `block(in_ptr, out_ptr, n, dt)` over `in` in kBlockSamples chunks
+/// and returns the output waveform — the shared driver behind every
+/// whole-waveform process() implementation.
+template <typename BlockFn>
+sig::Waveform run_blocked(const sig::Waveform& in, BlockFn&& block) {
+  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
+  const double* src = in.samples().data();
+  double* dst = out.samples().data();
+  const std::size_t total = in.size();
+  for (std::size_t o = 0; o < total; o += kBlockSamples)
+    block(src + o, dst + o, std::min(kBlockSamples, total - o), in.dt_ps());
+  return out;
+}
 
 /// Serial composition of elements (owned).
 class Cascade final : public AnalogElement {
@@ -52,6 +87,11 @@ class Cascade final : public AnalogElement {
 
   void reset() override;
   double step(double vin, double dt_ps) override;
+  /// Stage-major: the whole block runs through stage k before stage k+1
+  /// touches it. Mathematically identical for this feedforward chain, and
+  /// it turns N virtual calls per sample into N per block.
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
 
  private:
   std::vector<std::unique_ptr<AnalogElement>> stages_;

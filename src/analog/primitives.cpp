@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fastmath.h"
+#include "util/scratch.h"
 #include "util/units.h"
 
 namespace gdelay::analog {
@@ -22,6 +24,25 @@ double SinglePoleFilter::step(double vin, double dt_ps) {
   const double alpha = 1.0 - std::exp(-dt_ps / tau_ps());
   y_ += alpha * (vin - y_);
   return y_;
+}
+
+double SinglePoleFilter::alpha_for(double dt_ps) {
+  if (dt_ps != blk_dt_) {
+    blk_dt_ = dt_ps;
+    blk_alpha_ = 1.0 - std::exp(-dt_ps / tau_ps());
+  }
+  return blk_alpha_;
+}
+
+void SinglePoleFilter::process_block(const double* in, double* out,
+                                     std::size_t n, double dt_ps) {
+  const double alpha = alpha_for(dt_ps);
+  double y = y_;
+  for (std::size_t i = 0; i < n; ++i) {
+    y += alpha * (in[i] - y);
+    out[i] = y;
+  }
+  y_ = y;
 }
 
 SlewRateLimiter::SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps,
@@ -53,6 +74,22 @@ double SlewRateLimiter::step(double vin, double dt_ps) {
   return y_;
 }
 
+void SlewRateLimiter::prime(double dt_ps) {
+  if (dt_ps == blk_dt_) return;
+  blk_dt_ = dt_ps;
+  blk_max_step_ = slew_ * dt_ps;
+  blk_lin_ = tau_lin_ > 0.0 ? 1.0 - std::exp(-dt_ps / tau_lin_) : 1.0;
+  blk_leak_ = leak_tau_ > 0.0 ? 1.0 - std::exp(-dt_ps / leak_tau_) : 0.0;
+}
+
+void SlewRateLimiter::process_block(const double* in, double* out,
+                                    std::size_t n, double dt_ps) {
+  prime(dt_ps);
+  Primed p = primed();
+  for (std::size_t i = 0; i < n; ++i) out[i] = step_primed(p, in[i]);
+  commit(p);
+}
+
 TanhLimiter::TanhLimiter(double gain, double vsat_v)
     : gain_(gain), vsat_(vsat_v) {
   if (gain <= 0.0 || vsat_v <= 0.0)
@@ -60,7 +97,21 @@ TanhLimiter::TanhLimiter(double gain, double vsat_v)
 }
 
 double TanhLimiter::step(double vin, double /*dt_ps*/) {
-  return vsat_ * std::tanh(gain_ * vin / vsat_);
+  return vsat_ * util::det_tanh(gain_ * vin / vsat_);
+}
+
+void TanhLimiter::process_block(const double* in, double* out, std::size_t n,
+                                double /*dt_ps*/) {
+  // Stateless; the override only exists to run elementwise without the
+  // per-sample virtual call. det_tanh is branch-free straight-line
+  // arithmetic, so this loop auto-vectorizes on bare SSE2.
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = vsat_ * util::det_tanh(gain_ * in[i] / vsat_);
+}
+
+void GainStage::process_block(const double* in, double* out, std::size_t n,
+                              double /*dt_ps*/) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = gain_ * in[i];
 }
 
 NoiseAdder::NoiseAdder(double density_v_sqrtps, util::Rng rng)
@@ -72,6 +123,18 @@ NoiseAdder::NoiseAdder(double density_v_sqrtps, util::Rng rng)
 double NoiseAdder::step(double vin, double dt_ps) {
   if (density_ == 0.0) return vin;
   return vin + rng_.gaussian(0.0, density_ / std::sqrt(dt_ps));
+}
+
+void NoiseAdder::process_block(const double* in, double* out, std::size_t n,
+                               double dt_ps) {
+  if (density_ == 0.0) {
+    if (out != in) std::copy(in, in + n, out);
+    return;
+  }
+  const double sigma = density_ / std::sqrt(dt_ps);
+  util::ScratchBuffer noise(n);
+  rng_.fill_gaussian(noise.data(), n, 0.0, sigma);
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] + noise[i];
 }
 
 FractionalDelay::FractionalDelay(double delay_ps) : delay_(delay_ps) {
@@ -86,19 +149,51 @@ void FractionalDelay::reset() {
   dt_cached_ = 0.0;
 }
 
-double FractionalDelay::step(double vin, double dt_ps) {
-  if (dt_ps <= 0.0)
-    throw std::invalid_argument("FractionalDelay: dt must be > 0");
-  if (hist_.empty() || dt_ps != dt_cached_) {
-    // (Re)size for this sample rate; the line starts "charged" with the
-    // first input so there is no artificial startup step.
-    dt_cached_ = dt_ps;
-    const auto n =
-        static_cast<std::size_t>(std::ceil(delay_ / dt_ps)) + 2;
+void FractionalDelay::ensure_grid(double dt_ps, double vin) {
+  if (!hist_.empty() && dt_ps == dt_cached_) return;
+  const auto n = static_cast<std::size_t>(std::ceil(delay_ / dt_ps)) + 2;
+  if (hist_.empty()) {
+    // First use: the line starts "charged" with the first input so there
+    // is no artificial startup step.
     hist_.assign(n, vin);
     head_ = 0;
     filled_ = 0;
+  } else {
+    // Mid-run sample-rate change: resample the stored waveform onto the
+    // new grid so the line's charge survives the switch. (Flushing the
+    // ring — the old behaviour — teleported the delayed signal to the
+    // current input, a delay_ps-long artificial flat segment.)
+    const std::size_t n_old = hist_.size();
+    const double max_past =
+        static_cast<double>(n_old - 1) * dt_cached_;  // deepest stored time
+    std::vector<double> next(n);
+    // Slot (n - k) holds the sample k new-steps into the past of the
+    // *upcoming* write (matching the ring reader below, with head_ = 0).
+    // The newest stored sample sits one new-step back; beyond the stored
+    // depth we clamp to the oldest value.
+    for (std::size_t k = 1; k < n; ++k) {
+      const double t_past = std::min(
+          static_cast<double>(k - 1) * dt_ps, max_past);
+      const double pos = t_past / dt_cached_;
+      const auto j = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(j);
+      const std::size_t j1 = std::min(j + 1, n_old - 1);
+      const double v0 = hist_[(head_ + n_old - 1 - j) % n_old];
+      const double v1 = hist_[(head_ + n_old - 1 - j1) % n_old];
+      next[n - k] = v0 + (v1 - v0) * frac;
+    }
+    next[0] = hist_[(head_ + n_old - 1) % n_old];  // overwritten next write
+    hist_ = std::move(next);
+    head_ = 0;
+    filled_ = n;
   }
+  dt_cached_ = dt_ps;
+}
+
+double FractionalDelay::step(double vin, double dt_ps) {
+  if (dt_ps <= 0.0)
+    throw std::invalid_argument("FractionalDelay: dt must be > 0");
+  ensure_grid(dt_ps, vin);
   hist_[head_] = vin;
   const double offset = delay_ / dt_cached_;  // samples into the past
   const auto k = static_cast<std::size_t>(offset);
@@ -111,6 +206,34 @@ double FractionalDelay::step(double vin, double dt_ps) {
   head_ = (head_ + 1) % n;
   if (filled_ < n) ++filled_;
   return v0 + (v1 - v0) * frac;
+}
+
+void FractionalDelay::process_block(const double* in, double* out,
+                                    std::size_t count, double dt_ps) {
+  if (count == 0) return;
+  if (dt_ps <= 0.0)
+    throw std::invalid_argument("FractionalDelay: dt must be > 0");
+  ensure_grid(dt_ps, in[0]);
+  // Same math as step() with the dt-derived offset hoisted and the ring
+  // indices advanced incrementally (one wraparound test instead of three
+  // modulos per sample).
+  const double offset = delay_ / dt_cached_;
+  const auto k = static_cast<std::size_t>(offset);
+  const double frac = offset - static_cast<double>(k);
+  const std::size_t n = hist_.size();
+  std::size_t head = head_;
+  std::size_t i0 = (head + n - (k % n)) % n;
+  for (std::size_t i = 0; i < count; ++i) {
+    hist_[head] = in[i];
+    const std::size_t i1 = i0 == 0 ? n - 1 : i0 - 1;
+    const double v0 = hist_[i0];
+    const double v1 = hist_[i1];
+    out[i] = v0 + (v1 - v0) * frac;
+    if (++head == n) head = 0;
+    if (++i0 == n) i0 = 0;
+  }
+  head_ = head;
+  filled_ = std::min(n, filled_ + count);
 }
 
 }  // namespace gdelay::analog

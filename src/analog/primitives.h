@@ -13,6 +13,7 @@
 //   FractionalDelay   ideal transport delay (transmission-line core)
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "analog/element.h"
@@ -26,13 +27,21 @@ class SinglePoleFilter final : public AnalogElement {
   explicit SinglePoleFilter(double f3db_ghz);
   void reset() override { y_ = 0.0; }
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double f3db_ghz() const { return f3db_; }
   /// Time constant tau = 1/(2*pi*f3dB) in ps.
   double tau_ps() const;
 
  private:
+  double alpha_for(double dt_ps);
+
   double f3db_;
   double y_ = 0.0;
+  // dt-keyed coefficient cache for the block path; re-derived whenever a
+  // block arrives with a different dt, so mixed-dt use stays correct.
+  double blk_dt_ = 0.0;
+  double blk_alpha_ = 0.0;
 };
 
 /// Output may move at most `slew_v_per_ps` volts per picosecond. With a
@@ -52,9 +61,57 @@ class SlewRateLimiter final : public AnalogElement {
                            double leak_tau_ps = 0.0);
   void reset() override { y_ = 0.0; first_ = true; }
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double slew() const { return slew_; }
   double tau_lin_ps() const { return tau_lin_; }
   double leak_tau_ps() const { return leak_tau_; }
+
+  /// (Re)derives the dt-dependent coefficients for the block path.
+  void prime(double dt_ps);
+
+  /// Snapshot of the primed coefficients plus the recursion state, held
+  /// by value. Block loops run the recursion on a local Primed and
+  /// commit() it back once at the end: the stores to the caller's
+  /// `out` array are doubles too, so if the loop touched members
+  /// directly the compiler would have to assume every out[i] store
+  /// might alias them and reload y_/coefficients each iteration.
+  /// Through a by-value snapshot everything lives in registers.
+  struct Primed {
+    double max_step;
+    double lin;
+    double leak;
+    double y;
+    bool first;
+    bool has_lin;
+    bool has_leak;
+  };
+  Primed primed() const {
+    return {blk_max_step_, blk_lin_, blk_leak_,
+            y_,            first_,   tau_lin_ > 0.0, leak_tau_ > 0.0};
+  }
+  void commit(const Primed& p) {
+    y_ = p.y;
+    first_ = p.first;
+  }
+  /// One step using the primed coefficients — byte-identical to
+  /// step(vin, primed dt). Static on a Primed snapshot so
+  /// VariableGainBuffer's fused block loop (slew output feeds the droop
+  /// state) shares this exact code while keeping the state enregistered.
+  static double step_primed(Primed& p, double vin) {
+    if (p.first) {
+      p.y = vin;
+      p.first = false;
+      return p.y;
+    }
+    const double err = vin - p.y;
+    double want = err;
+    if (p.has_lin) want *= p.lin;
+    double dy = std::clamp(want, -p.max_step, p.max_step);
+    if (p.has_leak) dy += err * p.leak;
+    p.y += dy;
+    return p.y;
+  }
 
  private:
   double slew_;
@@ -62,6 +119,10 @@ class SlewRateLimiter final : public AnalogElement {
   double leak_tau_;
   double y_ = 0.0;
   bool first_ = true;  // first sample snaps to the input (no startup ramp)
+  double blk_dt_ = 0.0;
+  double blk_max_step_ = 0.0;
+  double blk_lin_ = 1.0;
+  double blk_leak_ = 0.0;
 };
 
 /// y = vsat * tanh(gain * x / vsat): linear gain for small signals,
@@ -71,6 +132,8 @@ class TanhLimiter final : public AnalogElement {
   TanhLimiter(double gain, double vsat_v);
   void reset() override {}
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double gain() const { return gain_; }
   double vsat() const { return vsat_; }
 
@@ -85,6 +148,8 @@ class GainStage final : public AnalogElement {
   explicit GainStage(double gain) : gain_(gain) {}
   void reset() override {}
   double step(double vin, double /*dt_ps*/) override { return gain_ * vin; }
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double gain() const { return gain_; }
   void set_gain(double g) { gain_ = g; }
 
@@ -102,6 +167,8 @@ class NoiseAdder final : public AnalogElement {
   NoiseAdder(double density_v_sqrtps, util::Rng rng);
   void reset() override {}
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double density() const { return density_; }
 
  private:
@@ -110,15 +177,23 @@ class NoiseAdder final : public AnalogElement {
 };
 
 /// Ideal transport delay with sub-sample (linear interpolation) precision.
-/// Models the lossless core of a controlled-length PCB trace.
+/// Models the lossless core of a controlled-length PCB trace. A mid-run
+/// sample-rate change re-derives the ring buffer by resampling the stored
+/// history onto the new grid, so the line's charge survives the switch.
 class FractionalDelay final : public AnalogElement {
  public:
   explicit FractionalDelay(double delay_ps);
   void reset() override;
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
   double delay_ps() const { return delay_; }
 
  private:
+  /// (Re)builds the ring for `dt_ps` — charged with `vin` on first use,
+  /// resampled from the existing history on a dt change.
+  void ensure_grid(double dt_ps, double vin);
+
   double delay_;
   std::vector<double> hist_;  // ring buffer
   std::size_t head_ = 0;

@@ -23,6 +23,13 @@ double TransmissionLine::step(double vin, double dt_ps) {
   return v;
 }
 
+void TransmissionLine::process_block(const double* in, double* out,
+                                     std::size_t n, double dt_ps) {
+  delay_.process_block(in, out, n, dt_ps);
+  for (std::size_t i = 0; i < n; ++i) out[i] *= loss_factor_;
+  if (has_pole_) pole_.process_block(out, out, n, dt_ps);
+}
+
 double trace_loss_db(double delay_ps, double db_per_100ps) {
   return delay_ps / 100.0 * db_per_100ps;
 }

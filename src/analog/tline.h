@@ -29,6 +29,8 @@ class TransmissionLine final : public AnalogElement {
 
   void reset() override;
   double step(double vin, double dt_ps) override;
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps) override;
 
  private:
   TransmissionLineConfig cfg_;

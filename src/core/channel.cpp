@@ -15,12 +15,18 @@ double VariableDelayChannel::step(double vin, double dt_ps) {
   return fine_.step(coarse_.step(vin, dt_ps), dt_ps);
 }
 
+void VariableDelayChannel::process_block(const double* in, double* out,
+                                         std::size_t n, double dt_ps) {
+  coarse_.process_block(in, out, n, dt_ps);
+  fine_.process_block(out, out, n, dt_ps);
+}
+
 sig::Waveform VariableDelayChannel::process(const sig::Waveform& in) {
   reset();
-  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
-  for (std::size_t i = 0; i < in.size(); ++i)
-    out[i] = step(in[i], in.dt_ps());
-  return out;
+  return analog::run_blocked(in, [this](const double* src, double* dst,
+                                        std::size_t n, double dt_ps) {
+    process_block(src, dst, n, dt_ps);
+  });
 }
 
 }  // namespace gdelay::core

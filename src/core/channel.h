@@ -51,6 +51,9 @@ class VariableDelayChannel {
 
   void reset();
   double step(double vin, double dt_ps);
+  /// Stage-major block path — byte-identical to `n` step() calls.
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps);
   sig::Waveform process(const sig::Waveform& in);
 
  private:

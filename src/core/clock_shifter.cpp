@@ -38,8 +38,9 @@ sig::Waveform ClockPhaseShifter::process(const sig::Waveform& clock) {
   // periodic clock it is invisible.
   sig::Waveform out(clock.t0_ps(), clock.dt_ps(), clock.size());
   line.reset();
-  for (std::size_t i = 0; i < clock.size(); ++i)
-    out[i] = line.step(clock[i], clock.dt_ps());
+  if (clock.size() > 0)
+    line.process_block(clock.samples().data(), out.samples().data(),
+                       clock.size(), clock.dt_ps());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/scratch.h"
+
 namespace gdelay::core {
 
 CoarseDelayBlock::CoarseDelayBlock(const CoarseDelayConfig& cfg,
@@ -55,12 +57,24 @@ double CoarseDelayBlock::step(double vin, double dt_ps) {
   return mux_.step(sel, dt_ps);
 }
 
+void CoarseDelayBlock::process_block(const double* in, double* out,
+                                     std::size_t n, double dt_ps) {
+  util::ScratchBuffer fan(n), tmp(n);
+  fanout_.process_block(in, fan.data(), n, dt_ps);
+  for (int i = 0; i < kTaps; ++i) {
+    double* dst = (i == selected_) ? out : tmp.data();
+    taps_[static_cast<std::size_t>(i)].process_block(fan.data(), dst, n,
+                                                     dt_ps);
+  }
+  mux_.process_block(out, out, n, dt_ps);
+}
+
 sig::Waveform CoarseDelayBlock::process(const sig::Waveform& in) {
   reset();
-  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
-  for (std::size_t i = 0; i < in.size(); ++i)
-    out[i] = step(in[i], in.dt_ps());
-  return out;
+  return analog::run_blocked(in, [this](const double* src, double* dst,
+                                        std::size_t n, double dt_ps) {
+    process_block(src, dst, n, dt_ps);
+  });
 }
 
 }  // namespace gdelay::core

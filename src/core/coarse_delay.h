@@ -61,6 +61,11 @@ class CoarseDelayBlock {
   /// All four taps are simulated every sample so the selection may change
   /// mid-run, exactly like flipping the real select lines.
   double step(double vin, double dt_ps);
+  /// Stage-major block path — byte-identical to `n` step() calls. Every
+  /// tap is still advanced (their state must track the fanout signal for
+  /// mid-run reselection), but each as one whole-block pass.
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps);
   sig::Waveform process(const sig::Waveform& in);
 
  private:

@@ -52,12 +52,20 @@ double FineDelayLine::step_with_vctrl(double vin, double vctrl,
   return step(vin, dt_ps);
 }
 
+void FineDelayLine::process_block(const double* in, double* out,
+                                  std::size_t n, double dt_ps) {
+  stages_.front().process_block(in, out, n, dt_ps);
+  for (std::size_t s = 1; s < stages_.size(); ++s)
+    stages_[s].process_block(out, out, n, dt_ps);
+  out_.process_block(out, out, n, dt_ps);
+}
+
 sig::Waveform FineDelayLine::process(const sig::Waveform& in) {
   reset();
-  sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
-  for (std::size_t i = 0; i < in.size(); ++i)
-    out[i] = step(in[i], in.dt_ps());
-  return out;
+  return analog::run_blocked(in, [this](const double* src, double* dst,
+                                        std::size_t n, double dt_ps) {
+    process_block(src, dst, n, dt_ps);
+  });
 }
 
 }  // namespace gdelay::core

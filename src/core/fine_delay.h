@@ -58,7 +58,13 @@ class FineDelayLine {
   /// primitive behind jitter injection (Vctrl varies during the run).
   double step_with_vctrl(double vin, double vctrl, double dt_ps);
 
-  /// Runs a waveform through a freshly reset line.
+  /// Advances `n` samples stage-major (whole block through each stage in
+  /// turn) — byte-identical to `n` step() calls. Fixed Vctrl only; the
+  /// injection path stays on step_with_vctrl().
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps);
+
+  /// Runs a waveform through a freshly reset line (block path).
   sig::Waveform process(const sig::Waveform& in);
 
  private:

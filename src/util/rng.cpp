@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "util/fastmath.h"
 #include "util/units.h"
 
 namespace gdelay::util {
@@ -17,6 +19,27 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
+}
+
+// One Box-Muller pair from two uniforms: cos branch first, sin branch
+// second — the draw order the public API has always exposed. The log
+// and the sin/cos pair are the deterministic branch-free kernels from
+// util/fastmath.h (not libm), so the draw sequence no longer depends on
+// the host libc and — critically — the transform is straight-line
+// arithmetic that auto-vectorizes when fill_gaussian() evaluates it
+// over a whole chunk of pairs. u1 is in (0, 1] (normal, never zero or
+// denormal), inside det_log's domain; u2 is in [0, 1), det_sincos2pi's
+// domain. std::sqrt is correctly rounded everywhere, so it keeps the
+// determinism guarantee. gaussian() and fill_gaussian() both route
+// through here, which is what keeps the scalar and batched paths
+// byte-identical by construction.
+inline void box_muller(double u1, double u2, double& out_cos,
+                       double& out_sin) {
+  const double r = std::sqrt(-2.0 * det_log(u1));
+  double s, c;
+  det_sincos2pi(u2, s, c);
+  out_cos = r * c;
+  out_sin = r * s;
 }
 
 }  // namespace
@@ -55,15 +78,59 @@ double Rng::gaussian() {
     return v;
   }
   // Box-Muller; u1 in (0, 1] to keep the log finite.
-  double u1 = 1.0 - uniform();
-  double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  cached_gaussian_ = r * std::sin(2.0 * kPi * u2);
-  return r * std::cos(2.0 * kPi * u2);
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  double c, s;
+  box_muller(u1, u2, c, s);
+  cached_gaussian_ = s;
+  return c;
 }
 
 double Rng::gaussian(double mean, double sigma) {
   return mean + sigma * gaussian();
+}
+
+void Rng::fill_gaussian(double* out, std::size_t n, double mean,
+                        double sigma) {
+  // Mirrors gaussian() exactly — same uniforms, same Box-Muller
+  // arithmetic, same cos-then-sin pairing — so the sequence of doubles is
+  // bit-for-bit the one `n` scalar calls would produce.
+  std::size_t i = 0;
+  if (i < n && cached_gaussian_) {
+    out[i++] = mean + sigma * *cached_gaussian_;
+    cached_gaussian_.reset();
+  }
+  // Pairs are processed in chunks: the uniforms are drawn serially (the
+  // xoshiro recurrence is inherently sequential, but cheap), then the
+  // Box-Muller transform — the expensive part — runs as an elementwise
+  // loop over the chunk that the compiler vectorizes. Per-lane packed
+  // arithmetic is IEEE-identical to scalar, so the outputs match the
+  // one-pair-at-a-time path bit for bit.
+  constexpr std::size_t kChunkPairs = 128;
+  while (i + 1 < n) {
+    double u1[kChunkPairs], u2[kChunkPairs];
+    double cs[kChunkPairs], sn[kChunkPairs];
+    const std::size_t pairs = std::min(kChunkPairs, (n - i) / 2);
+    for (std::size_t k = 0; k < pairs; ++k) {
+      u1[k] = 1.0 - uniform();
+      u2[k] = uniform();
+    }
+    for (std::size_t k = 0; k < pairs; ++k)
+      box_muller(u1[k], u2[k], cs[k], sn[k]);
+    for (std::size_t k = 0; k < pairs; ++k) {
+      out[i + 2 * k] = mean + sigma * cs[k];
+      out[i + 2 * k + 1] = mean + sigma * sn[k];
+    }
+    i += 2 * pairs;
+  }
+  if (i < n) {
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    double c, s;
+    box_muller(u1, u2, c, s);
+    cached_gaussian_ = s;
+    out[i] = mean + sigma * c;
+  }
 }
 
 bool Rng::bit() { return (next_u64() >> 63) != 0; }

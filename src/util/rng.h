@@ -7,6 +7,7 @@
 // lets us cheaply derive independent substreams via `fork()`.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -32,6 +33,12 @@ class Rng {
 
   /// Normal with the given mean / standard deviation.
   double gaussian(double mean, double sigma);
+
+  /// Fills `out[0..n)` with normal variates, byte-identical to `n`
+  /// successive `gaussian(mean, sigma)` calls (same draw order, including
+  /// the Box-Muller pair cache), but with the per-call overhead hoisted —
+  /// the batched generator behind the block-processing noise paths.
+  void fill_gaussian(double* out, std::size_t n, double mean, double sigma);
 
   /// Fair coin.
   bool bit();
