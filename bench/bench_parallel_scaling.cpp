@@ -19,6 +19,12 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
+// Stamped by bench/CMakeLists.txt; BENCH_parallel.json schema 2 carries it
+// so each snapshot is attributable (see bench/gbench_json.h).
+#ifndef GDELAY_GIT_REV
+#define GDELAY_GIT_REV "unknown"
+#endif
+
 using namespace gdelay;
 
 namespace {
@@ -119,6 +125,8 @@ int main() {
 
   if (std::FILE* f = std::fopen("BENCH_parallel.json", "w")) {
     std::fprintf(f, "{\n  \"bench\": \"parallel_scaling\",\n");
+    std::fprintf(f, "  \"schema\": 2,\n  \"git_rev\": \"%s\",\n",
+                 GDELAY_GIT_REV);
     std::fprintf(f, "  \"workload\": \"DelayBoard::calibrate 4ch x %d-point sweep\",\n",
                  opt.n_vctrl_points);
     std::fprintf(f, "  \"hardware_threads\": %d,\n", hw);

@@ -14,7 +14,18 @@
 #include <utility>
 #include <vector>
 
+// Stamped by the build (bench/CMakeLists.txt) from `git rev-parse`;
+// "unknown" outside a git checkout.
+#ifndef GDELAY_GIT_REV
+#define GDELAY_GIT_REV "unknown"
+#endif
+
 namespace gdelay::bench {
+
+// BENCH_*.json schema version. v1 had no version field at all; v2 adds
+// "schema" and "git_rev" so perf snapshots are attributable to a commit.
+// Readers must tolerate both shapes (treat a missing "schema" as v1).
+inline constexpr int kBenchJsonSchema = 2;
 
 struct GbenchRow {
   std::string name;
@@ -62,7 +73,10 @@ inline void write_gbench_json(
     std::fprintf(stderr, "could not write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", bench_name);
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema\": %d,\n"
+               "  \"git_rev\": \"%s\",\n  \"results\": [",
+               bench_name, kBenchJsonSchema, GDELAY_GIT_REV);
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"wall_ns_per_iter\": %.1f, "

@@ -31,7 +31,7 @@ double VariableGainBuffer::amplitude_for(double vctrl) const {
   const double u = std::clamp(vctrl / cfg_.vctrl_max_v, 0.0, 1.0);
   const double k = cfg_.ctrl_shape;
   const double f =
-      (std::tanh(k * (u - 0.5)) / std::tanh(k * 0.5) + 1.0) / 2.0;
+      (util::det_tanh(k * (u - 0.5)) / util::det_tanh(k * 0.5) + 1.0) / 2.0;
   return cfg_.amp_min_v + (cfg_.amp_max_v - cfg_.amp_min_v) * f;
 }
 
@@ -77,7 +77,7 @@ double VariableGainBuffer::step(double vin, double dt_ps) {
     activity = std::min(1.0, std::abs(slewed - prev_out_) * inv_max_step);
   first_sample_ = false;
   prev_out_ = slewed;
-  const double alpha = 1.0 - std::exp(-dt_ps / cfg_.droop_tau_ps);
+  const double alpha = 1.0 - util::det_exp(-dt_ps / cfg_.droop_tau_ps);
   droop_state_ += alpha * (activity - droop_state_);
   return out_pole_.step(slewed, dt_ps);
 }
@@ -106,7 +106,7 @@ void VariableGainBuffer::process_block(const double* in, double* out,
   const double amp_frac = amp * cfg_.droop_frac;
   const double max_step = cfg_.slew_v_per_ps * dt_ps;
   const double inv_max_step = max_step > 0.0 ? 1.0 / max_step : 0.0;
-  const double alpha = 1.0 - std::exp(-dt_ps / cfg_.droop_tau_ps);
+  const double alpha = 1.0 - util::det_exp(-dt_ps / cfg_.droop_tau_ps);
   slew_.prime(dt_ps);
   // The recursion state is copied into locals for the loop (and written
   // back after) for the same reason SlewRateLimiter::Primed exists: the

@@ -85,6 +85,9 @@ class VariableGainBuffer final : public AnalogElement {
   /// NoiseSource::fork_noise).
   void fork_noise(std::uint64_t stream) { noise_.fork_noise(stream); }
 
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<VariableGainBuffer>(*this);
+  }
   void reset() override;
   double step(double vin, double dt_ps) override;
   /// Stage-major block path: tanh pair, bandwidth pole and batched noise
@@ -132,6 +135,9 @@ class LimitingBuffer final : public AnalogElement {
   /// Independent deterministic noise stream for a cloned buffer.
   void fork_noise(std::uint64_t stream) { noise_.fork_noise(stream); }
 
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<LimitingBuffer>(*this);
+  }
   void reset() override;
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,

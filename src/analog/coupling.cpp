@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/units.h"
+#include "util/fastmath.h"
 
 namespace gdelay::analog {
 
@@ -80,7 +81,7 @@ void NoiseSource::reset() { y_ = 0.0; }
 double NoiseSource::step(double dt_ps) {
   if (sigma_ == 0.0) return 0.0;
   const double tau = 1000.0 / (2.0 * util::kPi * bw_);
-  const double alpha = 1.0 - std::exp(-dt_ps / tau);
+  const double alpha = 1.0 - util::det_exp(-dt_ps / tau);
   // Var(y) = Var(x) * alpha / (2 - alpha) for a one-pole filter driven by
   // white noise; scale the white input so Var(y) == sigma^2.
   const double sx = sigma_ * std::sqrt((2.0 - alpha) / alpha);
@@ -96,7 +97,7 @@ void NoiseSource::process_block(double* out, std::size_t n, double dt_ps) {
   if (dt_ps != blk_dt_) {
     blk_dt_ = dt_ps;
     const double tau = 1000.0 / (2.0 * util::kPi * bw_);
-    blk_alpha_ = 1.0 - std::exp(-dt_ps / tau);
+    blk_alpha_ = 1.0 - util::det_exp(-dt_ps / tau);
     blk_sx_ = sigma_ * std::sqrt((2.0 - blk_alpha_) / blk_alpha_);
   }
   const double alpha = blk_alpha_;

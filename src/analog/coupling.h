@@ -17,6 +17,9 @@ class AcCoupler final : public AnalogElement {
  public:
   /// `f_hp_ghz`: -3 dB high-pass corner (e.g. 0.01 = 10 MHz).
   explicit AcCoupler(double f_hp_ghz);
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<AcCoupler>(*this);
+  }
   void reset() override;
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
@@ -41,6 +44,9 @@ class Attenuator final : public AnalogElement {
   double step(double vin, double /*dt_ps*/) override { return vin * factor_; }
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<Attenuator>(*this);
+  }
   double factor() const { return factor_; }
 
  private:

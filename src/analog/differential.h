@@ -35,6 +35,9 @@ class DifferentialImbalance final : public AnalogElement {
 
   const DifferentialImbalanceConfig& config() const { return cfg_; }
 
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<DifferentialImbalance>(*this);
+  }
   void reset() override;
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,

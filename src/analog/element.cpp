@@ -15,6 +15,13 @@ sig::Waveform AnalogElement::process(const sig::Waveform& in) {
   });
 }
 
+std::unique_ptr<AnalogElement> Cascade::clone() const {
+  auto copy = std::make_unique<Cascade>();
+  copy->stages_.reserve(stages_.size());
+  for (const auto& s : stages_) copy->stages_.push_back(s->clone());
+  return copy;
+}
+
 void Cascade::add(std::unique_ptr<AnalogElement> el) {
   stages_.push_back(std::move(el));
 }

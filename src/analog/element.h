@@ -41,6 +41,15 @@ class AnalogElement {
   /// output sample.
   virtual double step(double vin, double dt_ps) = 0;
 
+  /// Deep copy carrying the complete internal state (filter memories,
+  /// ring buffers, RNG streams). Clones drive the parallel calibration
+  /// sweeps: each sweep point runs on its own clone, then fork_noise()
+  /// decorrelates the copies deterministically. Every override must copy
+  /// *all* state — a clone that diverges from its source under identical
+  /// inputs breaks sweep determinism (rule R3 of gdelay-audit enforces
+  /// that every element declares this).
+  virtual std::unique_ptr<AnalogElement> clone() const = 0;
+
   /// Advances `n` sample periods: out[i] = step(in[i], dt_ps), with
   /// byte-identical results. `in == out` (in-place) is allowed; other
   /// overlap is not. `dt_ps` may differ between calls (coefficient caches
@@ -92,6 +101,9 @@ class Cascade final : public AnalogElement {
   /// it turns N virtual calls per sample into N per block.
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  /// Deep copy: each stage is cloned in order (unique_ptr stages make the
+  /// compiler-generated copy unavailable).
+  std::unique_ptr<AnalogElement> clone() const override;
 
  private:
   std::vector<std::unique_ptr<AnalogElement>> stages_;

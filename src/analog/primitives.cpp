@@ -21,7 +21,7 @@ double SinglePoleFilter::tau_ps() const {
 
 double SinglePoleFilter::step(double vin, double dt_ps) {
   // Exact discretization of the first-order ODE over one step.
-  const double alpha = 1.0 - std::exp(-dt_ps / tau_ps());
+  const double alpha = 1.0 - util::det_exp(-dt_ps / tau_ps());
   y_ += alpha * (vin - y_);
   return y_;
 }
@@ -29,7 +29,7 @@ double SinglePoleFilter::step(double vin, double dt_ps) {
 double SinglePoleFilter::alpha_for(double dt_ps) {
   if (dt_ps != blk_dt_) {
     blk_dt_ = dt_ps;
-    blk_alpha_ = 1.0 - std::exp(-dt_ps / tau_ps());
+    blk_alpha_ = 1.0 - util::det_exp(-dt_ps / tau_ps());
   }
   return blk_alpha_;
 }
@@ -66,10 +66,10 @@ double SlewRateLimiter::step(double vin, double dt_ps) {
   const double err = vin - y_;
   double want = err;
   if (tau_lin_ > 0.0)
-    want *= 1.0 - std::exp(-dt_ps / tau_lin_);  // linear settling region
+    want *= 1.0 - util::det_exp(-dt_ps / tau_lin_);  // linear settling region
   double dy = std::clamp(want, -max_step, max_step);
   if (leak_tau_ > 0.0)
-    dy += err * (1.0 - std::exp(-dt_ps / leak_tau_));  // output conductance
+    dy += err * (1.0 - util::det_exp(-dt_ps / leak_tau_));  // output conductance
   y_ += dy;
   return y_;
 }
@@ -78,8 +78,8 @@ void SlewRateLimiter::prime(double dt_ps) {
   if (dt_ps == blk_dt_) return;
   blk_dt_ = dt_ps;
   blk_max_step_ = slew_ * dt_ps;
-  blk_lin_ = tau_lin_ > 0.0 ? 1.0 - std::exp(-dt_ps / tau_lin_) : 1.0;
-  blk_leak_ = leak_tau_ > 0.0 ? 1.0 - std::exp(-dt_ps / leak_tau_) : 0.0;
+  blk_lin_ = tau_lin_ > 0.0 ? 1.0 - util::det_exp(-dt_ps / tau_lin_) : 1.0;
+  blk_leak_ = leak_tau_ > 0.0 ? 1.0 - util::det_exp(-dt_ps / leak_tau_) : 0.0;
 }
 
 void SlewRateLimiter::process_block(const double* in, double* out,

@@ -29,6 +29,9 @@ class SinglePoleFilter final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<SinglePoleFilter>(*this);
+  }
   double f3db_ghz() const { return f3db_; }
   /// Time constant tau = 1/(2*pi*f3dB) in ps.
   double tau_ps() const;
@@ -63,6 +66,9 @@ class SlewRateLimiter final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<SlewRateLimiter>(*this);
+  }
   double slew() const { return slew_; }
   double tau_lin_ps() const { return tau_lin_; }
   double leak_tau_ps() const { return leak_tau_; }
@@ -134,6 +140,9 @@ class TanhLimiter final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<TanhLimiter>(*this);
+  }
   double gain() const { return gain_; }
   double vsat() const { return vsat_; }
 
@@ -150,6 +159,9 @@ class GainStage final : public AnalogElement {
   double step(double vin, double /*dt_ps*/) override { return gain_ * vin; }
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<GainStage>(*this);
+  }
   double gain() const { return gain_; }
   void set_gain(double g) { gain_ = g; }
 
@@ -169,7 +181,13 @@ class NoiseAdder final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<NoiseAdder>(*this);
+  }
   double density() const { return density_; }
+  /// Independent deterministic noise stream for a cloned adder (see
+  /// NoiseSource::fork_noise).
+  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }
 
  private:
   double density_;
@@ -187,6 +205,9 @@ class FractionalDelay final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<FractionalDelay>(*this);
+  }
   double delay_ps() const { return delay_; }
 
  private:

@@ -27,6 +27,9 @@ class TransmissionLine final : public AnalogElement {
   const TransmissionLineConfig& config() const { return cfg_; }
   double delay_ps() const { return cfg_.delay_ps; }
 
+  std::unique_ptr<AnalogElement> clone() const override {
+    return std::make_unique<TransmissionLine>(*this);
+  }
   void reset() override;
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,

@@ -37,6 +37,10 @@ class AteChannel {
   /// Total launch offset: static skew + programmed coarse delay.
   double launch_offset_ps() const;
 
+  /// Independent deterministic source-jitter stream for a cloned channel
+  /// (see NoiseSource::fork_noise for the sweep discipline).
+  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }
+
   /// Generates the channel's output for a bit pattern. Edge times include
   /// the launch offset; the reported ideal edges stay on the unskewed
   /// grid so callers can measure skew against the bus reference.

@@ -36,6 +36,10 @@ class ClockPhaseShifter {
   double phase_ps() const { return phase_; }
   double step_ps() const;
 
+  /// Independent deterministic phase-noise stream for a cloned shifter
+  /// (see NoiseSource::fork_noise for the sweep discipline).
+  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }
+
   /// Shifts a clock waveform by the programmed phase (plus phase noise).
   sig::Waveform process(const sig::Waveform& clock);
 

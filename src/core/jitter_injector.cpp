@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/units.h"
+#include "util/fastmath.h"
 
 namespace gdelay::core {
 
@@ -48,7 +49,7 @@ double JitterInjector::step(double vin, double dt_ps) {
   double raw = noise_.step(dt_ps) * sigma;
   if (sj_pp_ > 0.0)
     raw += 0.5 * sj_pp_ *
-           std::sin(2.0 * util::kPi * sj_freq_ * 1e-3 * sj_t_ps_);
+           util::det_sin2pi(sj_freq_ * 1e-3 * sj_t_ps_);
   sj_t_ps_ += dt_ps;
   const double coupled = coupler_.step(raw, dt_ps);
   const double vctrl = std::clamp(vctrl_dc_ + coupled, 0.0,

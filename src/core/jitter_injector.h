@@ -49,6 +49,14 @@ class JitterInjector {
   double sj_pp() const { return sj_pp_; }
   double sj_freq_ghz() const { return sj_freq_; }
 
+  /// Independent deterministic noise streams (generator + line) for a
+  /// cloned injector; one stream id forks both children, whose parent
+  /// states already differ (see NoiseSource::fork_noise).
+  void fork_noise(std::uint64_t stream) {
+    line_.fork_noise(stream);
+    noise_.fork_noise(stream);
+  }
+
   void reset();
   /// One sample: draws noise, couples it onto Vctrl, steps the line.
   double step(double vin, double dt_ps);

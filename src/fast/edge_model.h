@@ -41,6 +41,10 @@ class FastChannel {
   /// Total latency at the current programming.
   double latency_ps() const;
 
+  /// Independent deterministic jitter stream for a cloned channel (see
+  /// NoiseSource::fork_noise for the sweep discipline).
+  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }
+
   /// Applies the channel to a sorted list of edge times.
   std::vector<double> transform(const std::vector<double>& edges_ps);
 

@@ -65,6 +65,14 @@ class FastBus {
     }
   };
 
+  /// Independent deterministic streams for a cloned bus: forks the
+  /// bus-level RNG and forwards the stream id to every lane (their parent
+  /// states already differ, so one id keeps the forks decorrelated).
+  void fork_noise(std::uint64_t stream) {
+    rng_ = rng_.fork(stream);
+    for (auto& l : lanes_) l.fork_noise(stream);
+  }
+
   /// Runs `bits` per lane (PRBS, per-lane seeds) with a COMMON strobe at
   /// `strobe_phase_ps` within the UI, summing errors over all lanes.
   /// `latency_hint_ps` tells the receiver how many whole UIs to skip.

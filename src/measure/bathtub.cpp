@@ -6,6 +6,8 @@
 namespace gdelay::meas {
 
 double q_function(double z) {
+  // gdelay-audit: allow(R1) BER-extrapolation tail probability; analysis
+  // output only, never fed back into the simulated signal path.
   return 0.5 * std::erfc(z / std::sqrt(2.0));
 }
 

@@ -7,6 +7,8 @@
 
 #include "measure/stats.h"
 #include "signal/edges.h"
+#include "util/fastmath.h"
+#include "util/units.h"
 
 namespace gdelay::meas {
 namespace {
@@ -119,11 +121,15 @@ double measure_phase_delay(const sig::Waveform& reference,
   const auto phase_of = [ui_ps](const std::vector<sig::Edge>& edges) {
     double c = 0.0, s = 0.0;
     for (const auto& e : edges) {
-      const double phi = 2.0 * 3.14159265358979323846 * e.t_ps / ui_ps;
-      c += std::cos(phi);
-      s += std::sin(phi);
+      const double turns = e.t_ps / ui_ps;
+      double sv, cv;
+      util::det_sincos2pi(turns - std::floor(turns), sv, cv);
+      c += cv;
+      s += sv;
     }
-    return std::atan2(s, c) / (2.0 * 3.14159265358979323846) * ui_ps;
+    // gdelay-audit: allow(R1) analysis-side circular-mean readout; not in
+    // the simulated signal path.
+    return std::atan2(s, c) / (2.0 * util::kPi) * ui_ps;
   };
   double d = phase_of(oe) - phase_of(re);
   d = std::fmod(d, ui_ps);

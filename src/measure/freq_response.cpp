@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/units.h"
+#include "util/fastmath.h"
 
 namespace gdelay::meas {
 
@@ -32,6 +33,8 @@ std::vector<FreqPoint> measure_frequency_response(
     const double dt = period_ps / static_cast<double>(samples_per_cycle);
     const double omega = 2.0 * util::kPi / period_ps;  // rad per ps
 
+    const double inv_spc = 1.0 / static_cast<double>(samples_per_cycle);
+
     element.reset();
     const std::size_t n_settle =
         samples_per_cycle * static_cast<std::size_t>(opt.settle_cycles);
@@ -39,12 +42,17 @@ std::vector<FreqPoint> measure_frequency_response(
         samples_per_cycle * static_cast<std::size_t>(opt.measure_cycles);
     double i_acc = 0.0, q_acc = 0.0;
     for (std::size_t k = 0; k < n_settle + n_meas; ++k) {
-      const double t = static_cast<double>(k) * dt;
-      const double y =
-          element.step(opt.amplitude_v * std::sin(omega * t), dt);
+      // Phase expressed in turns, exact by construction (k mod cycle over
+      // samples-per-cycle): the stimulus the element sees is bit-identical
+      // on every platform, keeping measured responses reproducible.
+      const double turns =
+          static_cast<double>(k % samples_per_cycle) * inv_spc;
+      double sv, cv;
+      util::det_sincos2pi(turns, sv, cv);
+      const double y = element.step(opt.amplitude_v * sv, dt);
       if (k >= n_settle) {
-        i_acc += y * std::sin(omega * t);
-        q_acc += y * std::cos(omega * t);
+        i_acc += y * sv;
+        q_acc += y * cv;
       }
     }
     // For x = A sin(wt), out = G*A*sin(wt + phi):
@@ -55,8 +63,12 @@ std::vector<FreqPoint> measure_frequency_response(
 
     FreqPoint p;
     p.f_ghz = f;
+    // gdelay-audit: allow(R1) analysis-side gain/phase extraction; the
+    // simulated signal path never consumes these values.
     p.gain = std::hypot(re, im);
-    p.gain_db = 20.0 * std::log10(std::max(p.gain, 1e-12));
+    constexpr double kInvLn10 = 4.3429448190325182765e-1;  // 1/ln 10
+    p.gain_db = 20.0 * util::det_log(std::max(p.gain, 1e-12)) * kInvLn10;
+    // gdelay-audit: allow(R1) analysis-side phase extraction (see above).
     double phase = std::atan2(im, re);
     // Unwrap against the previous point assuming < pi of extra lag per
     // step (callers should sweep densely for long delay lines).

@@ -8,8 +8,16 @@
 #include "measure/stats.h"
 #include "signal/edges.h"
 #include "util/units.h"
+#include "util/fastmath.h"
 
 namespace gdelay::meas {
+namespace {
+
+/// Fractional part of a phase in turns, in [0, 1).
+double sig_turns_frac(double turns) { return turns - std::floor(turns); }
+
+}  // namespace
+
 
 JitterReport analyze_jitter(const std::vector<double>& ts, double ui_ps) {
   if (ui_ps <= 0.0) throw std::invalid_argument("analyze_jitter: ui must be > 0");
@@ -22,10 +30,13 @@ JitterReport analyze_jitter(const std::vector<double>& ts, double ui_ps) {
   // around the UI boundary, unlike a naive arithmetic mean of (t mod UI).
   double c = 0.0, s = 0.0;
   for (double t : ts) {
-    const double phi = 2.0 * util::kPi * t / ui_ps;
-    c += std::cos(phi);
-    s += std::sin(phi);
+    double sv, cv;
+    util::det_sincos2pi(sig_turns_frac(t / ui_ps), sv, cv);
+    c += cv;
+    s += sv;
   }
+  // gdelay-audit: allow(R1) analysis-side circular-mean readout; not in
+  // the simulated signal path.
   double phase = std::atan2(s, c) / (2.0 * util::kPi) * ui_ps;
   if (phase < 0.0) phase += ui_ps;
   rep.grid_phase_ps = phase;
@@ -44,8 +55,8 @@ JitterReport analyze_jitter(const std::vector<double>& ts, double ui_ps) {
   // Dual-Dirac-style decomposition at the observed population size:
   // a pure Gaussian with sigma = RJ over n edges shows a pk-pk of about
   // 2*Q*RJ with Q = sqrt(2 ln n); anything beyond that is deterministic.
-  const double q =
-      std::sqrt(2.0 * std::log(static_cast<double>(std::max<std::size_t>(ts.size(), 8))));
+  const double q = std::sqrt(2.0 * util::det_log(static_cast<double>(
+                                       std::max<std::size_t>(ts.size(), 8))));
   rep.dj_pp_ps = std::max(0.0, rep.tj_pp_ps - 2.0 * q * rep.rj_rms_ps);
   return rep;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/units.h"
+#include "util/fastmath.h"
 
 namespace gdelay::sig {
 namespace {
@@ -41,7 +42,7 @@ Waveform render(double t0, double dt, std::size_t n, double level0,
     double v = base;
     for (std::size_t k = lo; k < trs.size() && trs[k].t_ps <= t + w; ++k) {
       const double x = (t - trs[k].t_ps) / tau;
-      v += trs[k].delta_v * 0.5 * (1.0 + std::tanh(x));
+      v += trs[k].delta_v * 0.5 * (1.0 + util::det_tanh(x));
     }
     wf[i] = v;
   }
@@ -51,7 +52,7 @@ Waveform render(double t0, double dt, std::size_t n, double level0,
 double dj_offset(const SynthConfig& cfg, double t_ps) {
   if (cfg.dj_pp_ps <= 0.0) return 0.0;
   return 0.5 * cfg.dj_pp_ps *
-         std::sin(2.0 * util::kPi * cfg.dj_freq_ghz * 1e-3 * t_ps);
+         util::det_sin2pi(cfg.dj_freq_ghz * 1e-3 * t_ps);
 }
 
 double jittered(const SynthConfig& cfg, double t_ideal, double ui,
@@ -152,7 +153,7 @@ SynthResult synthesize_clock(double f_ghz, std::size_t n_cycles,
 double rj_sigma_for_tj_pp(double tj_pp_ps, std::size_t n_edges) {
   if (tj_pp_ps <= 0.0) return 0.0;
   const double n = std::max<std::size_t>(n_edges, 8);
-  return tj_pp_ps / (2.0 * std::sqrt(2.0 * std::log(static_cast<double>(n))));
+  return tj_pp_ps / (2.0 * std::sqrt(2.0 * util::det_log(static_cast<double>(n))));
 }
 
 }  // namespace gdelay::sig

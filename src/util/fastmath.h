@@ -20,6 +20,7 @@
 #pragma once
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace gdelay::util {
@@ -99,6 +100,59 @@ inline double det_tanh(double x) {
   const double pos = em1 / (em1 + 2.0);  // tanh(|x|), in [0, 1]
   return std::bit_cast<double>(std::bit_cast<std::uint64_t>(pos) |
                                (bits & kSignBit));
+}
+
+/// exp(x) with < 1e-13 relative error, deterministic across platforms.
+/// Same construction as the e^{2x} core of det_tanh: x = k*ln2 + r with
+/// k = round(x*log2 e) via the magic-constant trick, e^r by the Taylor
+/// series through r^11, 2^k assembled in the exponent field — branch-free
+/// straight-line arithmetic that vectorizes on bare SSE2. Inputs are
+/// clamped to [-708, 708] (beyond which exp under/overflows anyway), so
+/// the biased exponent stays in the normal range; the coefficient
+/// derivations that call this (alpha = 1 - exp(-dt/tau)) live far inside
+/// that window.
+inline double det_exp(double x) {
+  // Branch-free clamp to [-708, 708] through the ordered-bit-pattern
+  // trick used in det_tanh: for finite doubles, value order matches the
+  // order of sign-magnitude bit patterns, so the compare runs on the
+  // integer unit and the select is mask arithmetic.
+  constexpr std::uint64_t kSignBit = 0x8000000000000000ull;
+  constexpr std::uint64_t kBits708 = 0x4086200000000000ull;  // == 708.0
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const std::uint64_t abs_bits = bits & ~kSignBit;
+  const std::uint64_t big = 0 - ((kBits708 - abs_bits) >> 63);
+  const std::uint64_t mag = (kBits708 & big) | (abs_bits & ~big);
+  const double xc = std::bit_cast<double>(mag | (bits & kSignBit));
+
+  constexpr double kLog2E = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-1;  // ln2 head
+  constexpr double kLn2Lo = 1.90821492927058770002e-10; // ln2 tail
+  constexpr double kRound = 6755399441055744.0;  // 1.5 * 2^52
+  const double z = xc * kLog2E;
+  const double m = z + kRound;
+  const double kd = m - kRound;
+  // Two-piece ln2 keeps r = x - k*ln2 accurate to ~1e-19 even for the
+  // largest |k| ~ 1021, where a single-double ln2 would lose 8 bits.
+  const double r = (xc - kd * kLn2Hi) - kd * kLn2Lo;
+
+  double p = 2.5052108385441718775e-8;          // 1/11!
+  p = p * r + 2.7557319223985890653e-7;         // 1/10!
+  p = p * r + 2.7557319223985892511e-6;         // 1/9!
+  p = p * r + 2.4801587301587301566e-5;         // 1/8!
+  p = p * r + 1.9841269841269841253e-4;         // 1/7!
+  p = p * r + 1.3888888888888889419e-3;         // 1/6!
+  p = p * r + 8.3333333333333332177e-3;         // 1/5!
+  p = p * r + 4.1666666666666664354e-2;         // 1/4!
+  p = p * r + 1.6666666666666665741e-1;         // 1/3!
+  p = p * r + 5.0e-1;                           // 1/2!
+  p = p * r + 1.0;                              // 1/1!
+  p = p * r + 1.0;                              // e^r
+
+  const std::int64_t ki =
+      std::bit_cast<std::int64_t>(m) - std::bit_cast<std::int64_t>(kRound);
+  const double scale =
+      std::bit_cast<double>(static_cast<std::uint64_t>(ki + 1023) << 52);
+  return scale * p;
 }
 
 /// log(x) for normal positive x, with < 1e-13 relative error,
@@ -207,6 +261,27 @@ inline void det_sincos2pi(double u, double& out_sin, double& out_cos) {
                                << 63;
   out_sin = std::bit_cast<double>(s_sel ^ s_sign);
   out_cos = std::bit_cast<double>(c_sel ^ c_sign);
+}
+
+/// sin(2*pi*turns) for any finite `turns`, deterministic across
+/// platforms: the argument is reduced to [0, 1) with an exact
+/// floor-subtract (both operations are correctly rounded, so the
+/// reduction is bit-identical everywhere) and handed to det_sincos2pi.
+/// Call sites express their phase in *turns* (cycles), which sidesteps
+/// the classic libm pitfall of reducing an already-rounded 2*pi*x.
+inline double det_sin2pi(double turns) {
+  const double u = turns - std::floor(turns);
+  double s, c;
+  det_sincos2pi(u, s, c);
+  return s;
+}
+
+/// cos(2*pi*turns); see det_sin2pi.
+inline double det_cos2pi(double turns) {
+  const double u = turns - std::floor(turns);
+  double s, c;
+  det_sincos2pi(u, s, c);
+  return c;
 }
 
 }  // namespace gdelay::util

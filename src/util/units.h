@@ -14,7 +14,7 @@
 // quoted throughout the paper.
 #pragma once
 
-#include <cmath>
+#include "util/fastmath.h"
 
 namespace gdelay::util {
 
@@ -43,7 +43,10 @@ constexpr double to_mv(double volts) { return volts * 1000.0; }
 /// Convert an amplitude loss in dB (positive number = attenuation) to a
 /// linear voltage factor in (0, 1].
 inline double db_loss_to_factor(double loss_db) {
-  return std::pow(10.0, -loss_db / 20.0);
+  // 10^y as det_exp(y * ln 10): keeps attenuator factors — and with them
+  // every simulated amplitude — independent of the host libm's pow.
+  constexpr double kLn10 = 2.30258509299404568402;
+  return det_exp(-loss_db / 20.0 * kLn10);
 }
 
 /// Peak-to-peak value of an (instrument-style) Gaussian source quoted as

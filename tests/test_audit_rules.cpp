@@ -1,0 +1,311 @@
+// Unit coverage for the gdelay-audit rule engine (tools/audit). Each rule
+// R1-R5 gets a violating, a clean, and a waived case; the final test
+// self-scans the live src/ tree and asserts it is clean, which is the
+// same check `ctest -R Audit` and the CI gate run via the CLI.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit.h"
+
+namespace {
+
+using gdelay::audit::Finding;
+using gdelay::audit::Options;
+using gdelay::audit::scan_source;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+std::string render(const std::vector<Finding>& fs) {
+  std::string out;
+  for (const auto& f : fs) out += gdelay::audit::format(f) + "\n";
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// R1 — no direct libm transcendentals
+// --------------------------------------------------------------------------
+
+TEST(AuditR1, FlagsDirectLibmCall) {
+  auto fs = scan_source("analog/x.cpp",
+                        "double f(double v) { return std::tanh(v); }");
+  ASSERT_EQ(fs.size(), 1u) << render(fs);
+  EXPECT_EQ(fs[0].rule, "R1");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("det_tanh"), std::string::npos);
+}
+
+TEST(AuditR1, FlagsUnqualifiedCallToo) {
+  auto fs = scan_source("core/x.cpp", "double f(double v) { return exp(v); }");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R1"}) << render(fs);
+}
+
+TEST(AuditR1, CleanOnDeterministicKernelsAndMemberCalls) {
+  auto fs = scan_source("analog/x.cpp",
+                        "double f(double v) { return util::det_tanh(v); }\n"
+                        "double g(Obj& o) { return o.exp(2.0); }\n"
+                        "double h(Obj* o) { return o->log(2.0); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR1, FastmathHeaderIsExempt) {
+  auto fs = scan_source("util/fastmath.h",
+                        "double ref(double v) { return std::tanh(v); }");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR1, InlineWaiverSilencesWithReason) {
+  auto fs = scan_source(
+      "measure/x.cpp",
+      "// gdelay-audit: allow(R1) analysis-side readout, not signal path\n"
+      "double f(double y, double x) { return std::atan2(y, x); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR1, WaiverCoversNextCodeLineAcrossCommentBlock) {
+  // A waiver whose reason wraps onto a second comment line still covers
+  // the first code line after the comment block.
+  auto fs = scan_source(
+      "measure/x.cpp",
+      "// gdelay-audit: allow(R1) analysis-side readout whose reason is\n"
+      "// long enough to wrap onto a second comment line\n"
+      "double f(double y, double x) { return std::atan2(y, x); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R2 — no nondeterminism sources
+// --------------------------------------------------------------------------
+
+TEST(AuditR2, FlagsRandomDeviceAndRand) {
+  auto fs = scan_source("util/x.cpp",
+                        "int a() { std::random_device rd; return rd(); }\n"
+                        "int b() { return std::rand(); }\n"
+                        "long c() { return time(nullptr); }\n");
+  auto rules = rules_of(fs);
+  ASSERT_EQ(rules, (std::vector<std::string>{"R2", "R2", "R2"})) << render(fs);
+}
+
+TEST(AuditR2, FlagsWallClockReads) {
+  auto fs = scan_source(
+      "core/x.cpp", "auto t = std::chrono::steady_clock::now();");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"}) << render(fs);
+}
+
+TEST(AuditR2, CleanOnSeededRng) {
+  auto fs = scan_source("core/x.cpp",
+                        "double f(util::Rng& rng) { return rng.gauss(); }");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR2, GetenvAllowedOnlyInThreadPool) {
+  const std::string src = "const char* f() { return std::getenv(\"X\"); }";
+  EXPECT_TRUE(scan_source("util/thread_pool.cpp", src).empty());
+  auto fs = scan_source("core/x.cpp", src);
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"}) << render(fs);
+}
+
+TEST(AuditR2, InlineWaiverSilences) {
+  auto fs = scan_source(
+      "util/x.cpp",
+      "int b() { return std::rand(); }  // gdelay-audit: allow(R2) probe\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R3 — element-contract completeness
+// --------------------------------------------------------------------------
+
+TEST(AuditR3, FlagsStepWithoutProcessBlockAndClone) {
+  auto fs = scan_source(
+      "analog/x.h",
+      "class Partial : public AnalogElement {\n"
+      " public:\n"
+      "  double step(double v, double dt) override { return v * dt; }\n"
+      "};\n");
+  auto rules = rules_of(fs);
+  ASSERT_EQ(rules, (std::vector<std::string>{"R3", "R3"})) << render(fs);
+  EXPECT_NE(fs[0].message.find("process_block"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("clone"), std::string::npos);
+}
+
+TEST(AuditR3, FlagsRngMemberWithoutForkNoise) {
+  auto fs = scan_source("fast/x.h",
+                        "class Holder {\n"
+                        " public:\n"
+                        "  double sample();\n"
+                        " private:\n"
+                        "  util::Rng rng_;\n"
+                        "};\n");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R3"}) << render(fs);
+  EXPECT_NE(fs[0].message.find("fork_noise"), std::string::npos);
+}
+
+TEST(AuditR3, CleanOnCompleteElement) {
+  auto fs = scan_source(
+      "analog/x.h",
+      "class Complete final : public AnalogElement {\n"
+      " public:\n"
+      "  double step(double v, double dt) override;\n"
+      "  void process_block(const double* in, double* out, std::size_t n,\n"
+      "                     double dt_ps) override;\n"
+      "  std::unique_ptr<AnalogElement> clone() const override {\n"
+      "    return std::make_unique<Complete>(*this);\n"
+      "  }\n"
+      "  void fork_noise(std::uint64_t stream) { rng_ = rng_.fork(stream); }\n"
+      " private:\n"
+      "  util::Rng rng_{42};\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR3, UnrelatedClassesAreIgnored) {
+  auto fs = scan_source("measure/x.h",
+                        "class Meter : public Instrument {\n"
+                        " public:\n"
+                        "  double step(double v, double dt);\n"
+                        "};\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR3, InlineWaiverSilences) {
+  auto fs = scan_source(
+      "analog/x.h",
+      "// gdelay-audit: allow(R3) scalar-only shim, block path unreachable\n"
+      "class Partial : public AnalogElement {\n"
+      " public:\n"
+      "  double step(double v, double dt) override { return v * dt; }\n"
+      "  std::unique_ptr<AnalogElement> clone() const override;\n"
+      "};\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R4 — no mutable namespace-scope state
+// --------------------------------------------------------------------------
+
+TEST(AuditR4, FlagsMutableGlobals) {
+  auto fs = scan_source("util/x.cpp",
+                        "namespace gdelay {\n"
+                        "int g_counter = 0;\n"
+                        "static double g_scale{1.0};\n"
+                        "}\n");
+  ASSERT_EQ(rules_of(fs), (std::vector<std::string>{"R4", "R4"}))
+      << render(fs);
+}
+
+TEST(AuditR4, CleanOnConstantsDeclarationsAndLocals) {
+  auto fs = scan_source(
+      "util/x.cpp",
+      "namespace gdelay {\n"
+      "constexpr double kPi = 3.14159265358979323846;\n"
+      "const int kLanes = 4;\n"
+      "inline constexpr int kBits{8};\n"
+      "class Fwd;\n"
+      "using Row = std::vector<double>;\n"
+      "double free_fn(double x);\n"
+      "double with_local(double x) { double acc = x; return acc; }\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR4, InlineWaiverSilences) {
+  auto fs = scan_source(
+      "util/x.cpp",
+      "// gdelay-audit: allow(R4) guarded by pool mutex, test-only knob\n"
+      "int g_hook_count = 0;\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R5 — no float in the analog path
+// --------------------------------------------------------------------------
+
+TEST(AuditR5, FlagsFloatTypeAndLiteral) {
+  auto fs = scan_source("analog/x.cpp",
+                        "double f() { float v = 0.5f; return v; }");
+  ASSERT_EQ(rules_of(fs), (std::vector<std::string>{"R5", "R5"}))
+      << render(fs);
+}
+
+TEST(AuditR5, CleanOutsideAnalogPathAndOnDoubles) {
+  // measure/ is not part of the analog path, and hex literals ending in
+  // 'f' are not float literals.
+  EXPECT_TRUE(
+      scan_source("measure/x.cpp", "float scale() { return 0.5f; }").empty());
+  auto fs = scan_source("analog/x.cpp",
+                        "double f() { return 0.5 * 1e-3 + 0x2Fu; }");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR5, InlineWaiverSilences) {
+  auto fs = scan_source(
+      "signal/x.cpp",
+      "// gdelay-audit: allow(R5) narrowing is intentional for the DAC model\n"
+      "float dac_code(double v) { return static_cast<float>(v); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// Waiver hygiene, baseline, formatting
+// --------------------------------------------------------------------------
+
+TEST(AuditWaiver, MissingReasonIsItselfAFinding) {
+  auto fs = scan_source("util/x.cpp",
+                        "// gdelay-audit: allow(R2)\n"
+                        "int b() { return std::rand(); }\n");
+  auto rules = rules_of(fs);
+  ASSERT_EQ(fs.size(), 2u) << render(fs);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "waiver"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "R2"), rules.end());
+}
+
+TEST(AuditWaiver, WrongRuleDoesNotSilence) {
+  auto fs = scan_source(
+      "util/x.cpp",
+      "// gdelay-audit: allow(R1) wrong rule id for this finding\n"
+      "int b() { return std::rand(); }\n");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"}) << render(fs);
+}
+
+TEST(AuditBaseline, SuppressesListedFindingsOnly) {
+  auto fs = scan_source("util/x.cpp",
+                        "int a() { return std::rand(); }\n"
+                        "int b() { return std::rand(); }\n");
+  ASSERT_EQ(fs.size(), 2u) << render(fs);
+  auto kept = gdelay::audit::apply_baseline(
+      fs, "# comment\nutil/x.cpp:1:R2\n\n");
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].line, 2);
+}
+
+TEST(AuditFormat, GccDiagnosticShape) {
+  Finding f{"analog/x.cpp", 12, "R1", "direct libm call"};
+  EXPECT_EQ(gdelay::audit::format(f),
+            "analog/x.cpp:12: error[R1]: direct libm call");
+}
+
+TEST(AuditFormat, BaselineRoundTrip) {
+  Finding f{"analog/x.cpp", 12, "R1", "direct libm call"};
+  std::string text = gdelay::audit::to_baseline({f});
+  auto kept = gdelay::audit::apply_baseline({f}, text);
+  EXPECT_TRUE(kept.empty());
+}
+
+// --------------------------------------------------------------------------
+// Self-scan — the live tree obeys its own rules
+// --------------------------------------------------------------------------
+
+TEST(AuditSelfScan, LiveSourceTreeIsClean) {
+  auto fs = gdelay::audit::scan_tree(GDELAY_SOURCE_ROOT, Options{});
+  EXPECT_TRUE(fs.empty()) << "src/ has unwaived audit findings:\n"
+                          << render(fs);
+}
+
+}  // namespace

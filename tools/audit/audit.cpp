@@ -1,0 +1,746 @@
+#include "audit.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gdelay::audit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// Produces a stream of identifier / number / punctuation tokens with line
+// numbers. Comments, string and character literals, and preprocessor
+// directives are stripped (their contents must never trigger a rule).
+// Waiver comments are collected as a side channel while stripping.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { Ident, Number, Punct } kind;
+  std::string text;
+  int line;
+};
+
+struct Waiver {
+  std::set<std::string> rules;
+  bool has_reason = false;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  // Keyed by line. A waiver covers its own line and the line of the next
+  // code token after the comment (so multi-line comment blocks still cover
+  // the statement below them).
+  std::map<int, Waiver> waivers;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses "gdelay-audit: allow(R1,R2) reason..." out of a comment body.
+// Registers the waiver (or a malformed-waiver record with no rules) at
+// `line`. Returns true when a waiver tag was present.
+bool collect_waiver(const std::string& comment, int line, Lexed& lx) {
+  static const std::string kTag = "gdelay-audit:";
+  std::size_t at = comment.find(kTag);
+  if (at == std::string::npos) return false;
+  std::string rest = trim(comment.substr(at + kTag.size()));
+  // Only the tag directly followed by the allow keyword is a waiver
+  // attempt; prose that merely mentions the tool is not.
+  if (rest.rfind("allow", 0) != 0) return false;
+  Waiver w;
+  static const std::string kAllow = "allow(";
+  if (rest.rfind(kAllow, 0) == 0) {
+    std::size_t close = rest.find(')');
+    if (close != std::string::npos) {
+      std::string list = rest.substr(kAllow.size(), close - kAllow.size());
+      std::stringstream ss(list);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        rule = trim(rule);
+        if (!rule.empty()) w.rules.insert(rule);
+      }
+      w.has_reason = !trim(rest.substr(close + 1)).empty();
+    }
+  }
+  lx.waivers[line] = std::move(w);
+  return true;
+}
+
+Lexed lex(const std::string& src) {
+  Lexed lx;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+  std::vector<int> pending_waivers;  // waiver lines awaiting their code token
+
+  auto emit = [&](Token::Kind kind, std::string text) {
+    // Extend each not-yet-anchored waiver to the line of the first code
+    // token that follows it.
+    for (int wl : pending_waivers) {
+      auto it = lx.waivers.find(wl);
+      if (it == lx.waivers.end() || wl == line) continue;
+      if (it->second.rules.empty() || !it->second.has_reason)
+        continue;  // malformed; reported as-is, never propagated
+      Waiver& dst = lx.waivers[line];
+      if (dst.rules.empty()) dst.has_reason = it->second.has_reason;
+      dst.rules.insert(it->second.rules.begin(), it->second.rules.end());
+    }
+    pending_waivers.clear();
+    lx.tokens.push_back({kind, std::move(text), line});
+  };
+
+  auto skip_string = [&](char quote) {
+    ++i;  // opening quote
+    while (i < n) {
+      char c = src[i];
+      if (c == '\\' && i + 1 < n) {
+        i += 2;
+        continue;
+      }
+      if (c == '\n') ++line;  // unterminated / multiline — stay robust
+      ++i;
+      if (c == quote) break;
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume to end of line, honoring backslash
+      // continuations.
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t eol = src.find('\n', i);
+      std::string body =
+          src.substr(i + 2, (eol == std::string::npos ? n : eol) - i - 2);
+      if (collect_waiver(body, line, lx)) pending_waivers.push_back(line);
+      i = (eol == std::string::npos) ? n : eol;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      std::size_t stop = (end == std::string::npos) ? n : end;
+      std::string body = src.substr(i + 2, stop - i - 2);
+      int end_line = line + static_cast<int>(
+                                std::count(body.begin(), body.end(), '\n'));
+      if (collect_waiver(body, end_line, lx))
+        pending_waivers.push_back(end_line);
+      line = end_line;
+      i = (end == std::string::npos) ? n : end + 2;
+      continue;
+    }
+    if (c == '"') {
+      skip_string('"');
+      continue;
+    }
+    if (c == '\'') {
+      skip_string('\'');
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t b = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      std::string text = src.substr(b, i - b);
+      // Raw / prefixed string literals: R"(...)", u8"...", L'...' etc.
+      if (i < n && (src[i] == '"' || src[i] == '\'') &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR" || text == "u8" || text == "u" || text == "U" ||
+           text == "L")) {
+        if (text.back() == 'R' && src[i] == '"') {
+          // Raw string: find the )delim" terminator.
+          std::size_t p = i + 1;
+          std::string delim;
+          while (p < n && src[p] != '(') delim += src[p++];
+          std::string close = ")" + delim + "\"";
+          std::size_t end = src.find(close, p);
+          std::size_t stop = (end == std::string::npos) ? n : end + close.size();
+          line += static_cast<int>(
+              std::count(src.begin() + static_cast<long>(i),
+                         src.begin() + static_cast<long>(stop), '\n'));
+          i = stop;
+        } else {
+          skip_string(src[i]);
+        }
+        continue;
+      }
+      emit(Token::Ident, std::move(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t b = i;
+      while (i < n) {
+        char d = src[i];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && i > b) {
+          char prev = src[i - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      emit(Token::Number, src.substr(b, i - b));
+      continue;
+    }
+    // Punctuation; keep '::' and '->' glued (both matter to the rules:
+    // '::' so ':' in a base-clause is unambiguous, '->' for member calls).
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      emit(Token::Punct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      emit(Token::Punct, "->");
+      i += 2;
+      continue;
+    }
+    emit(Token::Punct, std::string(1, c));
+    ++i;
+  }
+  return lx;
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers
+// ---------------------------------------------------------------------------
+
+bool label_contains_any(const std::string& label,
+                        const std::vector<std::string>& fragments) {
+  for (const auto& f : fragments)
+    if (label.find(f) != std::string::npos) return true;
+  return false;
+}
+
+bool label_in_analog_path(const std::string& label,
+                          const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (label.rfind(p, 0) == 0) return true;
+    // Also match labels that carry a leading "src/" (absolute-ish scans).
+    if (label.find("/" + p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// R1 / R2 / R5 — linear token scans
+// ---------------------------------------------------------------------------
+
+const std::unordered_map<std::string, std::string>& transcendental_map() {
+  // libm name -> deterministic replacement hint.
+  static const std::unordered_map<std::string, std::string> m = {
+      {"tanh", "util::det_tanh"},
+      {"exp", "util::det_exp"},
+      {"log", "util::det_log"},
+      {"sin", "util::det_sin2pi (argument in turns)"},
+      {"cos", "util::det_cos2pi (argument in turns)"},
+      {"sincos", "util::det_sincos2pi"},
+      {"exp2", "util::det_exp"},
+      {"expm1", "util::det_exp"},
+      {"log2", "util::det_log"},
+      {"log10", "util::det_log"},
+      {"log1p", "util::det_log"},
+      {"tan", "util::det_sincos2pi"},
+      {"asin", ""},
+      {"acos", ""},
+      {"atan", ""},
+      {"atan2", ""},
+      {"pow", "util::det_exp/det_log composition"},
+      {"hypot", ""},
+      {"erf", ""},
+      {"erfc", ""},
+      {"sinh", "util::det_exp"},
+      {"cosh", "util::det_exp"},
+      {"cbrt", ""},
+      {"tgamma", ""},
+      {"lgamma", ""},
+      {"atanh", ""},
+      {"asinh", ""},
+      {"acosh", ""},
+      {"tanhf", "util::det_tanh"},
+      {"expf", "util::det_exp"},
+      {"logf", "util::det_log"},
+      {"sinf", "util::det_sin2pi"},
+      {"cosf", "util::det_cos2pi"},
+      {"powf", "util::det_exp/det_log composition"},
+  };
+  return m;
+}
+
+void scan_r1(const std::string& label, const Lexed& lx, const Options& opt,
+             std::vector<Finding>& out) {
+  if (ends_with(label, opt.fastmath_suffix)) return;
+  const auto& map = transcendental_map();
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Ident) continue;
+    auto it = map.find(toks[i].text);
+    if (it == map.end()) continue;
+    if (toks[i + 1].kind != Token::Punct || toks[i + 1].text != "(") continue;
+    if (i > 0 && toks[i - 1].kind == Token::Punct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;  // member call on some object, not libm
+    std::string msg = "direct libm call '" + toks[i].text +
+                      "(' bypasses the deterministic kernels";
+    if (!it->second.empty()) msg += "; use " + it->second;
+    msg += " (util/fastmath.h)";
+    out.push_back({label, toks[i].line, "R1", std::move(msg)});
+  }
+}
+
+void scan_r2(const std::string& label, const Lexed& lx, const Options& opt,
+             std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> any_use = {
+      "random_device", "steady_clock", "system_clock",
+      "high_resolution_clock"};
+  static const std::unordered_set<std::string> calls = {
+      "rand",         "srand",   "random",       "srandom", "drand48",
+      "gettimeofday", "time",    "timespec_get", "clock",   "clock_gettime",
+      "getenv",       "system"};
+  const bool getenv_ok = label_contains_any(label, opt.getenv_allowed);
+  const auto& toks = lx.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Ident) continue;
+    const std::string& t = toks[i].text;
+    if (any_use.count(t)) {
+      out.push_back({label, toks[i].line, "R2",
+                     "'" + t +
+                         "' is a nondeterminism source; seed everything from "
+                         "util::Rng and the configured stream ids"});
+      continue;
+    }
+    if (!calls.count(t)) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].kind != Token::Punct ||
+        toks[i + 1].text != "(")
+      continue;
+    if (i > 0 && toks[i - 1].kind == Token::Punct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;
+    if (t == "getenv" && getenv_ok) continue;
+    std::string msg =
+        "call to '" + t + "(' makes output depend on ambient state";
+    if (t == "getenv")
+      msg += "; environment reads are confined to util/thread_pool";
+    else
+      msg += "; derive values from util::Rng or explicit configuration";
+    out.push_back({label, toks[i].line, "R2", std::move(msg)});
+  }
+}
+
+void scan_r5(const std::string& label, const Lexed& lx, const Options& opt,
+             std::vector<Finding>& out) {
+  if (!label_in_analog_path(label, opt.analog_prefixes)) return;
+  for (const auto& t : lx.tokens) {
+    if (t.kind == Token::Ident && t.text == "float") {
+      out.push_back({label, t.line, "R5",
+                     "'float' in the analog path; the byte-identity suite "
+                     "assumes double end-to-end"});
+      continue;
+    }
+    if (t.kind == Token::Number && !t.text.empty()) {
+      char last = t.text.back();
+      bool hex = t.text.size() > 1 && t.text[0] == '0' &&
+                 (t.text[1] == 'x' || t.text[1] == 'X');
+      if (!hex && (last == 'f' || last == 'F')) {
+        out.push_back({label, t.line, "R5",
+                       "float literal '" + t.text +
+                           "' in the analog path; drop the suffix to keep "
+                           "double precision"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 / R4 — scope-stack pass
+//
+// A statement accumulator plus a brace-scope stack classifies each '{' as
+// namespace / class / enum / function / brace-init. Class scopes record
+// base names, declared methods, and Rng/NoiseSource members; namespace
+// scopes feed the mutable-global check.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { Namespace, Class, Enum, Function, Block };
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> bases;
+  std::set<std::string> methods;
+  std::vector<std::pair<std::string, int>> rng_members;  // name, line
+};
+
+bool stmt_has_ident(const std::vector<Token>& stmt, const std::string& id) {
+  for (const auto& t : stmt)
+    if (t.kind == Token::Ident && t.text == id) return true;
+  return false;
+}
+
+bool stmt_has_punct(const std::vector<Token>& stmt, const std::string& p) {
+  for (const auto& t : stmt)
+    if (t.kind == Token::Punct && t.text == p) return true;
+  return false;
+}
+
+// Extracts class name / bases from a class-head statement.
+ClassInfo parse_class_head(const std::vector<Token>& stmt) {
+  ClassInfo ci;
+  if (!stmt.empty()) ci.line = stmt.front().line;
+  // Last class/struct/union keyword wins ('template <class T> class Foo').
+  std::size_t kw = stmt.size();
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    if (stmt[i].kind == Token::Ident &&
+        (stmt[i].text == "class" || stmt[i].text == "struct" ||
+         stmt[i].text == "union"))
+      kw = i;
+  }
+  if (kw == stmt.size()) return ci;
+  ci.line = stmt[kw].line;
+  std::size_t i = kw + 1;
+  // Skip attributes, alignas(...) etc.; take the first plain identifier.
+  for (; i < stmt.size(); ++i) {
+    if (stmt[i].kind == Token::Ident && stmt[i].text != "alignas" &&
+        stmt[i].text != "final") {
+      ci.name = stmt[i].text;
+      ++i;
+      break;
+    }
+  }
+  // Base clause starts at a single ':' ('::' is one token, so unambiguous).
+  for (; i < stmt.size(); ++i) {
+    if (stmt[i].kind == Token::Punct && stmt[i].text == ":") {
+      ++i;
+      break;
+    }
+  }
+  int angle = 0;
+  std::string last_ident;
+  static const std::unordered_set<std::string> access = {
+      "public", "protected", "private", "virtual"};
+  for (; i < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.kind == Token::Punct) {
+      if (t.text == "<") ++angle;
+      else if (t.text == ">") angle = std::max(0, angle - 1);
+      else if (t.text == "," && angle == 0) {
+        if (!last_ident.empty()) ci.bases.push_back(last_ident);
+        last_ident.clear();
+      }
+      continue;
+    }
+    if (t.kind == Token::Ident && angle == 0 && !access.count(t.text))
+      last_ident = t.text;
+  }
+  if (!last_ident.empty()) ci.bases.push_back(last_ident);
+  return ci;
+}
+
+// Records a method or a Rng/NoiseSource member from a class-scope statement.
+void record_class_stmt(const std::vector<Token>& stmt, ClassInfo& ci) {
+  if (stmt.empty()) return;
+  // Method: identifier immediately before the first '('.
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    if (stmt[i].kind == Token::Punct && stmt[i].text == "(") {
+      if (i > 0 && stmt[i - 1].kind == Token::Ident)
+        ci.methods.insert(stmt[i - 1].text);
+      return;
+    }
+  }
+  // Member: ... Rng|NoiseSource <name> [= ... | ;]
+  for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+    if (stmt[i].kind == Token::Ident &&
+        (stmt[i].text == "Rng" || stmt[i].text == "NoiseSource") &&
+        stmt[i + 1].kind == Token::Ident) {
+      ci.rng_members.emplace_back(stmt[i + 1].text, stmt[i + 1].line);
+      return;
+    }
+  }
+}
+
+void finalize_class(const ClassInfo& ci, const std::string& label,
+                    std::vector<Finding>& out) {
+  bool from_element = false;
+  for (const auto& b : ci.bases)
+    if (b == "AnalogElement") from_element = true;
+  if (from_element && ci.methods.count("step")) {
+    if (!ci.methods.count("process_block"))
+      out.push_back({label, ci.line, "R3",
+                     "class '" + ci.name +
+                         "' derives from AnalogElement and overrides step() "
+                         "but not process_block(); the block path must stay "
+                         "byte-identical to the scalar path"});
+    if (!ci.methods.count("clone"))
+      out.push_back({label, ci.line, "R3",
+                     "class '" + ci.name +
+                         "' derives from AnalogElement and overrides step() "
+                         "but not clone(); parallel sweeps need deep copies"});
+  }
+  if (!ci.rng_members.empty() && !ci.methods.count("fork_noise")) {
+    for (const auto& [name, line] : ci.rng_members)
+      out.push_back({label, line, "R3",
+                     "member '" + name + "' of class '" + ci.name +
+                         "' holds a noise stream but the class declares no "
+                         "fork_noise(); clones would replay the same noise"});
+  }
+}
+
+// Checks a namespace-scope declaration statement for mutable global state.
+void check_namespace_stmt(const std::vector<Token>& stmt,
+                          const std::string& label, const Options& opt,
+                          std::vector<Finding>& out) {
+  if (stmt.size() < 2) return;
+  if (label_contains_any(label, opt.mutable_state_allowlist)) return;
+  static const std::unordered_set<std::string> skip_kw = {
+      "using",  "typedef",   "friend", "static_assert", "template",
+      "class",  "struct",    "enum",   "union",         "namespace",
+      "concept", "requires", "operator"};
+  for (const auto& t : stmt)
+    if (t.kind == Token::Ident && skip_kw.count(t.text)) return;
+  if (stmt_has_punct(stmt, "(")) return;  // function declaration
+  // Declaration head = tokens before the first top-level '=' or the end;
+  // const/constexpr there exempts the declaration. Angle depth is tracked
+  // so 'vector<const char*>' does not count as a const declaration.
+  int angle = 0;
+  int idents = 0;
+  for (const auto& t : stmt) {
+    if (t.kind == Token::Punct) {
+      if (t.text == "<") ++angle;
+      else if (t.text == ">") angle = std::max(0, angle - 1);
+      else if (t.text == ">>") angle = std::max(0, angle - 2);
+      else if (t.text == "=" && angle == 0) break;
+      continue;
+    }
+    if (t.kind == Token::Ident) {
+      if (angle == 0 && (t.text == "const" || t.text == "constexpr" ||
+                         t.text == "constinit"))
+        return;
+      ++idents;
+    }
+  }
+  if (idents < 2) return;  // not clearly a declaration (type + name)
+  out.push_back({label, stmt.front().line, "R4",
+                 "mutable namespace-scope state; globals race under "
+                 "GDELAY_THREADS and break run-to-run determinism — make it "
+                 "constexpr, move it into the owning object, or allowlist it"});
+}
+
+void scan_r3_r4(const std::string& label, const Lexed& lx, const Options& opt,
+                std::vector<Finding>& out) {
+  std::vector<ScopeKind> scopes = {ScopeKind::Namespace};
+  std::vector<ClassInfo> classes;
+  std::vector<Token> stmt;
+  for (const auto& t : lx.tokens) {
+    if (t.kind == Token::Punct && t.text == "{") {
+      ScopeKind parent = scopes.back();
+      ScopeKind kind = ScopeKind::Block;
+      bool var_init = false;
+      if (parent == ScopeKind::Function) {
+        kind = ScopeKind::Function;
+      } else if (stmt_has_ident(stmt, "namespace")) {
+        kind = ScopeKind::Namespace;
+      } else if (stmt_has_ident(stmt, "extern") && stmt.size() == 1) {
+        kind = ScopeKind::Namespace;  // extern "C" { ... }
+      } else if (stmt_has_ident(stmt, "enum")) {
+        kind = ScopeKind::Enum;
+      } else if (stmt_has_ident(stmt, "class") ||
+                 stmt_has_ident(stmt, "struct") ||
+                 stmt_has_ident(stmt, "union")) {
+        kind = ScopeKind::Class;
+      } else if (stmt_has_punct(stmt, "(")) {
+        kind = ScopeKind::Function;
+      } else if (!stmt.empty()) {
+        // Brace-initialized variable or member.
+        kind = ScopeKind::Block;
+        var_init = true;
+      }
+      if (kind == ScopeKind::Class) {
+        classes.push_back(parse_class_head(stmt));
+      } else if (parent == ScopeKind::Class && !classes.empty()) {
+        if (kind == ScopeKind::Function || var_init)
+          record_class_stmt(stmt, classes.back());
+      } else if (parent == ScopeKind::Namespace && var_init) {
+        check_namespace_stmt(stmt, label, opt, out);
+      }
+      scopes.push_back(kind);
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Punct && t.text == "}") {
+      if (scopes.back() == ScopeKind::Class && !classes.empty()) {
+        finalize_class(classes.back(), label, out);
+        classes.pop_back();
+      }
+      if (scopes.size() > 1) scopes.pop_back();
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Punct && t.text == ";") {
+      if (scopes.back() == ScopeKind::Class && !classes.empty())
+        record_class_stmt(stmt, classes.back());
+      else if (scopes.back() == ScopeKind::Namespace)
+        check_namespace_stmt(stmt, label, opt, out);
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Waiver application
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> apply_waivers(std::vector<Finding> findings,
+                                   const std::string& label,
+                                   const Lexed& lx) {
+  std::vector<Finding> kept;
+  for (auto& f : findings) {
+    bool waived = false;
+    for (int l : {f.line, f.line - 1}) {
+      auto it = lx.waivers.find(l);
+      if (it != lx.waivers.end() && it->second.has_reason &&
+          it->second.rules.count(f.rule)) {
+        waived = true;
+        break;
+      }
+    }
+    if (!waived) kept.push_back(std::move(f));
+  }
+  // Malformed waivers are findings themselves: a waiver without a reason
+  // (or with unparsable syntax) silences nothing and must be fixed.
+  for (const auto& [l, w] : lx.waivers) {
+    if (w.rules.empty() || !w.has_reason)
+      kept.push_back({label, l, "waiver",
+                      "malformed waiver; expected '// gdelay-audit: "
+                      "allow(RULE[,RULE]) reason' with a non-empty reason"});
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Finding> scan_source(const std::string& label,
+                                 const std::string& content,
+                                 const Options& opt) {
+  Lexed lx = lex(content);
+  std::vector<Finding> findings;
+  scan_r1(label, lx, opt, findings);
+  scan_r2(label, lx, opt, findings);
+  scan_r3_r4(label, lx, opt, findings);
+  scan_r5(label, lx, opt, findings);
+  findings = apply_waivers(std::move(findings), label, lx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root, const Options& opt) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> all;
+  for (const auto& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string label = fs::relative(p, root).generic_string();
+    auto fs_findings = scan_source(label, ss.str(), opt);
+    all.insert(all.end(), std::make_move_iterator(fs_findings.begin()),
+               std::make_move_iterator(fs_findings.end()));
+  }
+  return all;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": error[" + f.rule +
+         "]: " + f.message;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::string& baseline_text) {
+  std::set<std::string> keys;
+  std::stringstream ss(baseline_text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  std::vector<Finding> kept;
+  for (auto& f : findings) {
+    std::string key = f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+    if (!keys.count(key)) kept.push_back(std::move(f));
+  }
+  return kept;
+}
+
+std::string to_baseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# gdelay-audit baseline — grandfathered findings (file:line:rule).\n"
+      "# Prefer fixing or inline-waiving; shrink this file over time.\n";
+  for (const auto& f : findings)
+    out += f.file + ":" + std::to_string(f.line) + ":" + f.rule + "\n";
+  return out;
+}
+
+}  // namespace gdelay::audit

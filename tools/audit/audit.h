@@ -1,0 +1,96 @@
+// gdelay-audit: project-specific static analysis for the waveform engine.
+//
+// The simulator's determinism contracts — bit-exact output across runs,
+// thread counts, chunk sizes and host libm — are written down in DESIGN.md
+// and enforced at runtime by the byte-identity test suites. But runtime
+// tests only exercise the elements someone remembered to test; this tool
+// proves the *source* obeys the contracts, for every element and every
+// file, so a new AnalogElement cannot silently reintroduce host-libm
+// dependence, RNG-stream aliasing, or a step/block semantic fork.
+//
+// Rules (see DESIGN.md "Static guarantees" for the rationale):
+//
+//   R1  no direct libm transcendentals (std::tanh/log/exp/sin/cos/pow,
+//       bare tanh(...) and friends) outside util/fastmath.h — the signal
+//       path must use the det_* kernels, whose bit patterns are identical
+//       on every conforming platform.
+//   R2  no nondeterminism sources anywhere in src/: std::random_device,
+//       rand()/srand(), time(), wall-clock *_clock reads, getenv()
+//       (except util/thread_pool, which owns GDELAY_THREADS).
+//   R3  element-contract completeness: every class deriving from
+//       AnalogElement that overrides step() must also override
+//       process_block() and clone(); every class holding a Rng or
+//       NoiseSource member must declare fork_noise() so clone-based
+//       sweeps can decorrelate its streams.
+//   R4  no mutable namespace-scope state (data races under
+//       GDELAY_THREADS, and order-of-initialization hazards).
+//   R5  no float: the analog path (analog/, signal/, core/) is double
+//       end-to-end; a float literal or variable would silently round.
+//
+// Diagnostics are GCC-style `file:line: error[rule]: message`. A finding
+// can be waived inline:
+//
+//   // gdelay-audit: allow(R1) one-line justification (required)
+//
+// on the offending line or the line above, or recorded in a checked-in
+// baseline file (`file:line:rule` per line) for grandfathered findings.
+//
+// The scanner is a lightweight tokenizer, not a compiler: it strips
+// comments, strings and preprocessor directives, then pattern-matches
+// token sequences with a scope stack (namespace/class/function). That is
+// deliberate — the rules are designed to be decidable at token level, and
+// the tool builds in ~nothing and runs in milliseconds as `ctest -R Audit`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gdelay::audit {
+
+/// One rule violation (or malformed waiver).
+struct Finding {
+  std::string file;     ///< Label the file was scanned under.
+  int line = 0;         ///< 1-based.
+  std::string rule;     ///< "R1".."R5", or "waiver" for a malformed waiver.
+  std::string message;  ///< Human-readable explanation with the fix.
+};
+
+/// Path-based rule scoping. All fragments match against the scan label
+/// (root-relative, forward slashes).
+struct Options {
+  /// R1 does not apply here (this is where the det_* kernels live).
+  std::string fastmath_suffix = "util/fastmath.h";
+  /// Labels containing one of these may call getenv (R2).
+  std::vector<std::string> getenv_allowed = {"util/thread_pool"};
+  /// R5 applies to labels starting with one of these prefixes.
+  std::vector<std::string> analog_prefixes = {"analog/", "signal/", "core/"};
+  /// Labels containing one of these may hold namespace-scope mutable
+  /// state (R4). Empty on purpose: nothing in src/ needs it today.
+  std::vector<std::string> mutable_state_allowlist = {};
+};
+
+/// Scans one in-memory source file; `label` is used for diagnostics and
+/// for the path-based scoping in Options. Inline waivers are already
+/// applied; malformed waivers (missing reason) come back as rule "waiver".
+std::vector<Finding> scan_source(const std::string& label,
+                                 const std::string& content,
+                                 const Options& opt = {});
+
+/// Recursively scans every .h/.cpp/.hpp/.cc under `root` (sorted, so the
+/// output order is stable). Labels are root-relative.
+std::vector<Finding> scan_tree(const std::string& root,
+                               const Options& opt = {});
+
+/// "file:line: error[rule]: message" — GCC diagnostic shape, so editors
+/// and CI annotations pick it up for free.
+std::string format(const Finding& f);
+
+/// Drops findings listed in a baseline ("file:line:rule" per line; '#'
+/// comments and blank lines ignored).
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::string& baseline_text);
+
+/// Renders findings in baseline form (for --write-baseline).
+std::string to_baseline(const std::vector<Finding>& findings);
+
+}  // namespace gdelay::audit

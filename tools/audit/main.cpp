@@ -1,0 +1,110 @@
+// gdelay-audit CLI — scans source trees for determinism-contract
+// violations. See audit.h for the rule catalogue and waiver syntax.
+//
+//   gdelay_audit [--baseline FILE] [--write-baseline FILE] <root>...
+//
+// Exit status: 0 when clean (after waivers + baseline), 1 when findings
+// remain, 2 on usage errors.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: gdelay_audit [--baseline FILE] [--write-baseline FILE]"
+               " <root>...\n"
+               "Scans .h/.hpp/.cpp/.cc files under each <root> (or a single"
+               " file) for\nviolations of the gdelay determinism rules"
+               " R1-R5.\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = static_cast<bool>(in);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using namespace gdelay::audit;
+
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gdelay-audit: unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  Options opt;
+  std::vector<Finding> findings;
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      auto tree = scan_tree(root, opt);
+      findings.insert(findings.end(), tree.begin(), tree.end());
+    } else {
+      bool ok = false;
+      std::string content = read_file(root, ok);
+      if (!ok) {
+        std::cerr << "gdelay-audit: cannot read '" << root << "'\n";
+        return 2;
+      }
+      auto file_findings = scan_source(root, content, opt);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    std::string text = read_file(baseline_path, ok);
+    if (!ok) {
+      std::cerr << "gdelay-audit: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    findings = apply_baseline(std::move(findings), text);
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << to_baseline(findings);
+    std::cout << "gdelay-audit: wrote " << findings.size()
+              << " baseline entr" << (findings.size() == 1 ? "y" : "ies")
+              << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  for (const auto& f : findings) std::cout << format(f) << "\n";
+  if (findings.empty()) {
+    std::cout << "gdelay-audit: clean\n";
+    return 0;
+  }
+  std::cout << "gdelay-audit: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
