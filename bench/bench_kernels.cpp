@@ -17,7 +17,9 @@
 #include "analog/buffer.h"
 #include "analog/coupling.h"
 #include "analog/primitives.h"
+#include "bench/common.h"
 #include "bench/gbench_json.h"
+#include "bench/memtrack.h"
 #include "core/channel.h"
 #include "core/fine_delay.h"
 #include "util/rng.h"
@@ -194,6 +196,7 @@ BENCHMARK(VariableDelayChannel_block);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string outdir = gdelay::bench::parse_outdir(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   gdelay::bench::CaptureReporter rep;
@@ -212,12 +215,19 @@ int main(int argc, char** argv) {
               fine >= 3.0 ? "PASS" : "MISS");
   std::printf("  VariableDelayChannel: %.2fx\n", chan);
 
+  const auto heap = gdelay::bench::heap_snapshot();
+  gdelay::bench::MemReport mem;
+  mem.peak_rss_bytes = gdelay::bench::peak_rss_bytes();
+  mem.heap_peak_bytes = heap.peak_bytes;
+  mem.heap_total_bytes = heap.total_bytes;
+  mem.alloc_count = heap.alloc_count;
   gdelay::bench::write_gbench_json(
-      "BENCH_kernels.json", "kernels", rep.rows,
+      (outdir + "/BENCH_kernels.json").c_str(), "kernels", rep.rows,
       {{"dt_ps", kDt},
        {"fine_delay_block_speedup", fine},
        {"channel_block_speedup", chan},
-       {"speedup_target", 3.0}});
+       {"speedup_target", 3.0}},
+      &mem);
   benchmark::Shutdown();
   return 0;
 }

@@ -8,10 +8,12 @@
 
 #include "bench/common.h"
 #include "core/board.h"
+#include "core/pipeline.h"
 #include "core/requirements.h"
-#include "measure/delay_meter.h"
+#include "measure/sinks.h"
 #include "measure/stats.h"
 #include "signal/pattern.h"
+#include "signal/stream.h"
 #include "signal/synth.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -36,19 +38,34 @@ int main() {
   o.n_vctrl_points = 9;
   board.calibrate(stim.wf, o);
 
+  // The stimulus edges are shared by every instance's delay measurement:
+  // extract them once, streaming, and let the per-instance delay sinks
+  // pair against them.
+  const meas::DelayMeterOptions dopt;
+  meas::EdgeSink ref_edges = meas::DelayMeterSink::reference_sink(dopt);
+  {
+    sig::WaveformSource src(stim.wf);
+    core::Pipeline meter;
+    meter.run(src, ref_edges);
+  }
+
   // Each instance programs and measures its own channel — disjoint state,
   // so the trials fan out across the pool; results are reduced (and
-  // printed) in index order, identical for any GDELAY_THREADS.
+  // printed) in index order, identical for any GDELAY_THREADS. Each trial
+  // streams the stimulus through its channel into an incremental delay
+  // sink: the delayed trace is never materialized.
   std::vector<double> fine, total, res, err;
   struct Trial { double fine, total, res, err; };
   const std::vector<Trial> trials = util::parallel_map(
       std::size_t{kInstances}, [&](std::size_t i) {
         const auto& cal = board.calibrations()[i];
         board.program(static_cast<int>(i), 70.0);
-        const auto out =
-            board.channel(static_cast<int>(i)).process(stim.wf);
-        const double realized =
-            meas::measure_delay(stim.wf, out).mean_ps - cal.base_latency_ps;
+        sig::WaveformSource src(stim.wf);
+        meas::DelayMeterSink delay(ref_edges, dopt);
+        core::Pipeline pipe;
+        pipe.add_stage(board.channel(static_cast<int>(i)));
+        pipe.run(src, delay);
+        const double realized = delay.result().mean_ps - cal.base_latency_ps;
         return Trial{cal.fine_range_ps(), cal.total_range_ps(),
                      cal.resolution_ps(), std::abs(realized - 70.0)};
       });

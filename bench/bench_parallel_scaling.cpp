@@ -19,7 +19,7 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
-// Stamped by bench/CMakeLists.txt; BENCH_parallel.json schema 2 carries it
+// Stamped by bench/CMakeLists.txt; BENCH_parallel.json schema 3 carries it
 // so each snapshot is attributable (see bench/gbench_json.h).
 #ifndef GDELAY_GIT_REV
 #define GDELAY_GIT_REV "unknown"
@@ -60,7 +60,8 @@ bool bit_identical(const std::vector<core::ChannelCalibration>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Parallel scaling: DelayBoard::calibrate vs thread count",
                 "(ours; perf infrastructure)");
 
@@ -123,10 +124,13 @@ int main() {
     std::printf("  (note: this host exposes only %d core(s); the >= 3x\n"
                 "   target applies on 4+ cores)\n", hw);
 
-  if (std::FILE* f = std::fopen("BENCH_parallel.json", "w")) {
+  const std::string json_path = outdir + "/BENCH_parallel.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f, "{\n  \"bench\": \"parallel_scaling\",\n");
-    std::fprintf(f, "  \"schema\": 2,\n  \"git_rev\": \"%s\",\n",
+    std::fprintf(f, "  \"schema\": 3,\n  \"git_rev\": \"%s\",\n",
                  GDELAY_GIT_REV);
+    std::fprintf(f, "  \"mem\": {\"peak_rss_bytes\": %zu},\n",
+                 bench::peak_rss_bytes());
     std::fprintf(f, "  \"workload\": \"DelayBoard::calibrate 4ch x %d-point sweep\",\n",
                  opt.n_vctrl_points);
     std::fprintf(f, "  \"hardware_threads\": %d,\n", hw);
@@ -140,7 +144,7 @@ int main() {
           runs[i].samples_per_sec);
     std::fprintf(f, "\n  ],\n  \"speedup_best\": %.3f\n}\n", speedup);
     std::fclose(f);
-    std::printf("  wrote BENCH_parallel.json\n");
+    std::printf("  wrote %s\n", json_path.c_str());
   }
   return deterministic ? 0 : 1;
 }

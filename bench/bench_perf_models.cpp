@@ -5,7 +5,9 @@
 // studies (millions of bits).
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "bench/gbench_json.h"
+#include "bench/memtrack.h"
 #include "core/channel.h"
 #include "core/fine_delay.h"
 #include "fast/edge_model.h"
@@ -111,12 +113,20 @@ BENCHMARK(BM_JitterAnalysis);
 // and items/s per benchmark so the model-tier cost ratio is tracked
 // across PRs (items = bits for the channel benches, samples for synth).
 int main(int argc, char** argv) {
+  const std::string outdir = gdelay::bench::parse_outdir(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   gdelay::bench::CaptureReporter rep;
   benchmark::RunSpecifiedBenchmarks(&rep);
-  gdelay::bench::write_gbench_json("BENCH_perf_models.json", "perf_models",
-                                   rep.rows);
+  const auto heap = gdelay::bench::heap_snapshot();
+  gdelay::bench::MemReport mem;
+  mem.peak_rss_bytes = gdelay::bench::peak_rss_bytes();
+  mem.heap_peak_bytes = heap.peak_bytes;
+  mem.heap_total_bytes = heap.total_bytes;
+  mem.alloc_count = heap.alloc_count;
+  gdelay::bench::write_gbench_json(
+      (outdir + "/BENCH_perf_models.json").c_str(), "perf_models", rep.rows,
+      {}, &mem);
   benchmark::Shutdown();
   return 0;
 }

@@ -1,14 +1,67 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "measure/eye.h"
 #include "measure/jitter.h"
 #include "signal/synth.h"
 
 namespace gdelay::bench {
+
+/// Where a bench drops its BENCH_*.json. Benches accept
+/// `--outdir DIR` / `--outdir=DIR` (default "bench/out", relative to
+/// the CWD; gitignored — CI uploads the whole directory as an
+/// artifact). The flag is stripped from argv so a downstream
+/// benchmark::Initialize never sees it; the directory is created on the
+/// spot.
+inline std::string parse_outdir(int* argc, char** argv) {
+  std::string dir = "bench/out";
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--outdir" && i + 1 < *argc) {
+      dir = argv[++i];
+      continue;
+    }
+    if (a.rfind("--outdir=", 0) == 0) {
+      dir = a.substr(9);
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  argv[w] = nullptr;
+  *argc = w;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Peak resident-set size of the process so far, in bytes (0 where
+/// getrusage is unavailable). Monotone over the process lifetime: a
+/// bench comparing phases must run the lean phase first, or use the
+/// resettable heap counters in bench/memtrack.h.
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 inline void banner(const char* title, const char* paper_ref) {
   std::printf("\n============================================================\n");
@@ -21,12 +74,23 @@ inline void section(const char* name) {
   std::printf("\n--- %s ---\n", name);
 }
 
+/// Prints an already-accumulated eye (the streaming benches fold their
+/// eyes incrementally through meas::EyeSink).
+inline void print_eye(const meas::EyeDiagram& eye, const char* label) {
+  std::printf("%s (2 UI x [-550,550] mV):\n%s", label, eye.ascii().c_str());
+}
+
 /// Renders a waveform as an ASCII eye diagram (2 UI wide).
 inline void print_eye(const sig::Waveform& wf, double ui_ps,
                       const char* label, double settle_ps = 12000.0) {
   meas::EyeDiagram eye(ui_ps, -0.55, 0.55, 72, 18);
   eye.accumulate(wf, 0.0, settle_ps);
-  std::printf("%s (2 UI x [-550,550] mV):\n%s", label, eye.ascii().c_str());
+  print_eye(eye, label);
+}
+
+/// The benches' standard eye raster (2 UI x [-550, 550] mV, 72x18).
+inline meas::EyeDiagram bench_eye(double ui_ps) {
+  return meas::EyeDiagram(ui_ps, -0.55, 0.55, 72, 18);
 }
 
 /// Quick row formatter for paper-vs-measured tables.

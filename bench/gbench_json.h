@@ -23,9 +23,22 @@
 namespace gdelay::bench {
 
 // BENCH_*.json schema version. v1 had no version field at all; v2 adds
-// "schema" and "git_rev" so perf snapshots are attributable to a commit.
-// Readers must tolerate both shapes (treat a missing "schema" as v1).
-inline constexpr int kBenchJsonSchema = 2;
+// "schema" and "git_rev" so perf snapshots are attributable to a commit;
+// v3 adds an optional "mem" object (peak RSS + heap accounting, see
+// bench/memtrack.h) and moves the files out of the CWD into an output
+// directory (default bench/out/, see parse_outdir). Readers must
+// tolerate all shapes: treat a missing "schema" as v1 and a missing
+// "mem" as v2-style timing-only data.
+inline constexpr int kBenchJsonSchema = 3;
+
+/// Memory numbers for the v3 "mem" object. Zero means "not tracked"
+/// (e.g. a bench that reports RSS but does not replace operator new).
+struct MemReport {
+  std::size_t peak_rss_bytes = 0;    ///< getrusage high-water mark.
+  std::size_t heap_peak_bytes = 0;   ///< memtrack phase peak.
+  std::size_t heap_total_bytes = 0;  ///< memtrack bytes allocated.
+  std::size_t alloc_count = 0;       ///< memtrack allocation count.
+};
 
 struct GbenchRow {
   std::string name;
@@ -62,12 +75,13 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   }
 };
 
-/// Writes the captured rows (plus optional scalar verdicts) as
-/// BENCH_<name>.json-style output to `path`.
+/// Writes the captured rows (plus optional scalar verdicts and memory
+/// numbers) as BENCH_<name>.json-style output to `path`.
 inline void write_gbench_json(
     const char* path, const char* bench_name,
     const std::vector<GbenchRow>& rows,
-    const std::vector<std::pair<std::string, double>>& extra = {}) {
+    const std::vector<std::pair<std::string, double>>& extra = {},
+    const MemReport* mem = nullptr) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "could not write %s\n", path);
@@ -86,6 +100,13 @@ inline void write_gbench_json(
   std::fprintf(f, "\n  ]");
   for (const auto& [key, value] : extra)
     std::fprintf(f, ",\n  \"%s\": %.3f", key.c_str(), value);
+  if (mem != nullptr)
+    std::fprintf(f,
+                 ",\n  \"mem\": {\"peak_rss_bytes\": %zu, "
+                 "\"heap_peak_bytes\": %zu, \"heap_total_bytes\": %zu, "
+                 "\"alloc_count\": %zu}",
+                 mem->peak_rss_bytes, mem->heap_peak_bytes,
+                 mem->heap_total_bytes, mem->alloc_count);
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);

@@ -1,0 +1,169 @@
+// Opt-in heap accounting for the benches: replaces the global
+// operator new/delete family with counting wrappers so a harness can
+// report live bytes, phase peak and total bytes allocated alongside its
+// timing numbers (BENCH_*.json schema v3, see bench/gbench_json.h).
+//
+// Replacement operators must not be inline, so this header defines them
+// at namespace scope: include it from exactly ONE translation unit of a
+// binary. Every bench is a single .cpp, so including it from the bench
+// source is always safe. The library itself never includes this file —
+// allocation accounting is a bench-only concern.
+//
+// Counters use relaxed atomics: totals are exact under the thread pool,
+// and the peak is maintained with a CAS loop. Sizes come from
+// malloc_usable_size (glibc) so frees without a size are accounted
+// exactly; on other platforms the counters degrade to zero rather than
+// drifting negative.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define GDELAY_MEMTRACK_EXACT 1
+#else
+#define GDELAY_MEMTRACK_EXACT 0
+#endif
+
+namespace gdelay::bench {
+
+namespace memdetail {
+
+inline std::atomic<std::size_t> g_current{0};
+inline std::atomic<std::size_t> g_peak{0};
+inline std::atomic<std::size_t> g_total{0};
+inline std::atomic<std::size_t> g_allocs{0};
+
+inline std::size_t block_size(void* p) noexcept {
+#if GDELAY_MEMTRACK_EXACT
+  return ::malloc_usable_size(p);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+inline void on_alloc(void* p) noexcept {
+  if (p == nullptr) return;
+  const std::size_t sz = block_size(p);
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_total.fetch_add(sz, std::memory_order_relaxed);
+  const std::size_t cur =
+      g_current.fetch_add(sz, std::memory_order_relaxed) + sz;
+  std::size_t peak = g_peak.load(std::memory_order_relaxed);
+  while (cur > peak && !g_peak.compare_exchange_weak(
+                           peak, cur, std::memory_order_relaxed)) {
+  }
+}
+
+inline void on_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_current.fetch_sub(block_size(p), std::memory_order_relaxed);
+}
+
+}  // namespace memdetail
+
+/// Point-in-time heap counters, phase-relative (see heap_phase_reset).
+struct HeapSnapshot {
+  std::size_t current_bytes = 0;  ///< Live heap bytes right now.
+  std::size_t peak_bytes = 0;     ///< High-water mark since last reset.
+  std::size_t total_bytes = 0;    ///< Bytes allocated since last reset.
+  std::size_t alloc_count = 0;    ///< Allocations since last reset.
+};
+
+inline HeapSnapshot heap_snapshot() noexcept {
+  HeapSnapshot s;
+  s.current_bytes = memdetail::g_current.load(std::memory_order_relaxed);
+  s.peak_bytes = memdetail::g_peak.load(std::memory_order_relaxed);
+  s.total_bytes = memdetail::g_total.load(std::memory_order_relaxed);
+  s.alloc_count = memdetail::g_allocs.load(std::memory_order_relaxed);
+  return s;
+}
+
+/// Starts a measurement phase: the peak collapses to the live set and
+/// the total/count counters restart. Call between phases so each one's
+/// high-water mark is attributable (unlike getrusage peak RSS, which is
+/// monotone for the whole process).
+inline void heap_phase_reset() noexcept {
+  memdetail::g_peak.store(
+      memdetail::g_current.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  memdetail::g_total.store(0, std::memory_order_relaxed);
+  memdetail::g_allocs.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gdelay::bench
+
+// ---- global replacement operators (one TU per binary!) ----------------
+//
+// GDELAY_MEMTRACK_FN keeps the operators out of line: letting the
+// compiler inline a malloc-backed operator new next to an inlined
+// free-backed operator delete trips GCC's -Wmismatched-new-delete
+// (a false positive here — the pair is malloc/free by construction).
+#if defined(__GNUC__) || defined(__clang__)
+#define GDELAY_MEMTRACK_FN __attribute__((noinline))
+#else
+#define GDELAY_MEMTRACK_FN
+#endif
+
+GDELAY_MEMTRACK_FN void* operator new(std::size_t n) {
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  gdelay::bench::memdetail::on_alloc(p);
+  return p;
+}
+
+GDELAY_MEMTRACK_FN void* operator new[](std::size_t n) { return ::operator new(n); }
+
+GDELAY_MEMTRACK_FN void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(n != 0 ? n : 1);
+  gdelay::bench::memdetail::on_alloc(p);
+  return p;
+}
+
+GDELAY_MEMTRACK_FN void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+
+GDELAY_MEMTRACK_FN void* operator new(std::size_t n, std::align_val_t al) {
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a);
+  if (p == nullptr) throw std::bad_alloc();
+  gdelay::bench::memdetail::on_alloc(p);
+  return p;
+}
+
+GDELAY_MEMTRACK_FN void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+
+GDELAY_MEMTRACK_FN void operator delete(void* p) noexcept {
+  gdelay::bench::memdetail::on_free(p);
+  std::free(p);
+}
+
+GDELAY_MEMTRACK_FN void operator delete[](void* p) noexcept { ::operator delete(p); }
+GDELAY_MEMTRACK_FN void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+GDELAY_MEMTRACK_FN void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+GDELAY_MEMTRACK_FN void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+GDELAY_MEMTRACK_FN void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+GDELAY_MEMTRACK_FN void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+GDELAY_MEMTRACK_FN void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+GDELAY_MEMTRACK_FN void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+GDELAY_MEMTRACK_FN void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}

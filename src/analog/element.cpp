@@ -15,6 +15,16 @@ sig::Waveform AnalogElement::process(const sig::Waveform& in) {
   });
 }
 
+sig::Waveform AnalogElement::process(sig::Waveform&& in) {
+  reset();
+  double* p = in.samples().data();
+  const std::size_t total = in.size();
+  for (std::size_t o = 0; o < total; o += kBlockSamples)
+    process_block(p + o, p + o, std::min(kBlockSamples, total - o),
+                  in.dt_ps());
+  return std::move(in);
+}
+
 std::unique_ptr<AnalogElement> Cascade::clone() const {
   auto copy = std::make_unique<Cascade>();
   copy->stages_.reserve(stages_.size());

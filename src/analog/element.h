@@ -59,6 +59,11 @@ class AnalogElement {
 
   /// Runs a whole waveform through a freshly reset element (block path).
   sig::Waveform process(const sig::Waveform& in);
+
+  /// Rvalue overload: transforms the argument's samples in place and
+  /// returns the same storage — chained stages (`b.process(a.process(
+  /// std::move(wf)))`) allocate nothing after the first waveform.
+  sig::Waveform process(sig::Waveform&& in);
 };
 
 /// Runs `block(in_ptr, out_ptr, n, dt)` over `in` in kBlockSamples chunks

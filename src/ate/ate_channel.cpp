@@ -24,7 +24,7 @@ sig::SynthResult AteChannel::drive(const sig::BitPattern& bits) {
 
   const double off = launch_offset_ps();
   if (off != 0.0) {
-    res.wf = res.wf.shifted(off);
+    res.wf.shift(off);
     for (auto& t : res.actual_edges_ps) t += off;
     // ideal_edges_ps intentionally stays on the unskewed bus grid.
   }

@@ -57,11 +57,16 @@ double JitterInjector::step(double vin, double dt_ps) {
   return line_.step_with_vctrl(vin, vctrl, dt_ps);
 }
 
+void JitterInjector::process_block(const double* in, double* out,
+                                   std::size_t n, double dt_ps) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = step(in[i], dt_ps);
+}
+
 sig::Waveform JitterInjector::process(const sig::Waveform& in) {
   reset();
   sig::Waveform out(in.t0_ps(), in.dt_ps(), in.size());
-  for (std::size_t i = 0; i < in.size(); ++i)
-    out[i] = step(in[i], in.dt_ps());
+  process_block(in.samples().data(), out.samples().data(), in.size(),
+                in.dt_ps());
   return out;
 }
 

@@ -60,6 +60,11 @@ class JitterInjector {
   void reset();
   /// One sample: draws noise, couples it onto Vctrl, steps the line.
   double step(double vin, double dt_ps);
+  /// `n` step() calls; byte-identical at any chunking. Vctrl varies per
+  /// sample, so there is no wide kernel — this exists so the injector can
+  /// serve as a streaming Pipeline stage. In-place (in == out) allowed.
+  void process_block(const double* in, double* out, std::size_t n,
+                     double dt_ps);
   sig::Waveform process(const sig::Waveform& in);
 
  private:

@@ -1,0 +1,47 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "util/scratch.h"
+
+namespace gdelay::core {
+
+Pipeline::Pipeline(std::size_t chunk_samples) : chunk_(chunk_samples) {
+  if (chunk_samples == 0)
+    throw std::invalid_argument("Pipeline: chunk_samples must be > 0");
+}
+
+void Pipeline::run(sig::SampleSource& source,
+                   std::initializer_list<meas::ISampleSink*> sinks) {
+  source.rewind();
+  for (auto& st : stages_) st->reset();
+
+  const double t0 = source.t0_ps();
+  const double dt = source.dt_ps();
+  const std::size_t total = source.size();
+  for (auto* s : sinks) s->begin(t0, dt, total);
+
+  // Two chunk-sized leases, ping-ponged between stages: handing the
+  // kernels distinct in/out pointers keeps their vectorized paths live
+  // (with in == out the runtime overlap checks would drop every stage to
+  // its scalar fallback). Still O(chunk) memory, still allocation-free
+  // after warm-up.
+  util::ScratchBuffer a(chunk_), b(chunk_);
+  double* cur = a.data();
+  double* nxt = b.data();
+  std::size_t n;
+  while ((n = source.read(cur, chunk_)) > 0) {
+    for (auto& st : stages_) {
+      st->process_block(cur, nxt, n, dt);
+      std::swap(cur, nxt);
+    }
+    for (auto* s : sinks) s->consume(cur, n);
+  }
+  for (auto* s : sinks) s->finish();
+}
+
+void Pipeline::run(sig::SampleSource& source, meas::ISampleSink& sink) {
+  run(source, {&sink});
+}
+
+}  // namespace gdelay::core

@@ -22,25 +22,28 @@ EyeDiagram::EyeDiagram(double ui_ps, double v_min, double v_max,
   if (cols < 2 || rows < 2) throw std::invalid_argument("EyeDiagram: raster too small");
 }
 
+void EyeDiagram::add(double t_ps, double phase_ps, double v) {
+  const double span = 2.0 * ui_;
+  double x = std::fmod(t_ps - phase_ps, span);
+  if (x < 0.0) x += span;
+  if (v < v_min_ || v >= v_max_) return;
+  const auto col = std::min(
+      static_cast<std::size_t>(x / span * static_cast<double>(cols_)),
+      cols_ - 1);
+  const auto row = std::min(
+      static_cast<std::size_t>((v - v_min_) / (v_max_ - v_min_) *
+                               static_cast<double>(rows_)),
+      rows_ - 1);
+  ++grid_[row * cols_ + col];
+  ++total_;
+}
+
 void EyeDiagram::accumulate(const sig::Waveform& wf, double phase_ps,
                             double settle_ps) {
-  const double span = 2.0 * ui_;
   for (std::size_t i = 0; i < wf.size(); ++i) {
     const double t = wf.time_at(i);
     if (t < wf.t0_ps() + settle_ps) continue;
-    double x = std::fmod(t - phase_ps, span);
-    if (x < 0.0) x += span;
-    const double v = wf[i];
-    if (v < v_min_ || v >= v_max_) continue;
-    const auto col = std::min(
-        static_cast<std::size_t>(x / span * static_cast<double>(cols_)),
-        cols_ - 1);
-    const auto row = std::min(
-        static_cast<std::size_t>((v - v_min_) / (v_max_ - v_min_) *
-                                 static_cast<double>(rows_)),
-        rows_ - 1);
-    ++grid_[row * cols_ + col];
-    ++total_;
+    add(t, phase_ps, wf[i]);
   }
 }
 

@@ -39,6 +39,11 @@ class EyeDiagram {
   void accumulate(const sig::Waveform& wf, double phase_ps = 0.0,
                   double settle_ps = 400.0);
 
+  /// Folds a single sample at absolute time `t_ps` into the raster — the
+  /// incremental unit behind accumulate() and the streaming EyeSink.
+  /// Applies no settle gating; callers skip transient samples themselves.
+  void add(double t_ps, double phase_ps, double v);
+
   double ui_ps() const { return ui_; }
   std::size_t cols() const { return cols_; }
   std::size_t rows() const { return rows_; }

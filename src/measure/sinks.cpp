@@ -1,0 +1,144 @@
+#include "measure/sinks.h"
+
+#include <cstring>
+
+namespace gdelay::meas {
+
+void WaveformCaptureSink::begin(double t0_ps, double dt_ps,
+                                std::size_t total_n) {
+  wf_ = sig::Waveform(t0_ps, dt_ps, total_n);
+  pos_ = 0;
+}
+
+void WaveformCaptureSink::consume(const double* samples, std::size_t n) {
+  std::memcpy(wf_.samples().data() + pos_, samples, n * sizeof(double));
+  pos_ += n;
+}
+
+EyeSink::EyeSink(EyeDiagram eye, double phase_ps, double settle_ps)
+    : eye_(std::move(eye)), phase_ps_(phase_ps), settle_ps_(settle_ps) {}
+
+void EyeSink::begin(double t0_ps, double dt_ps, std::size_t) {
+  t0_ps_ = t0_ps;
+  dt_ps_ = dt_ps;
+  next_ = 0;
+}
+
+void EyeSink::consume(const double* samples, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k, ++next_) {
+    const double t = t0_ps_ + dt_ps_ * static_cast<double>(next_);
+    if (t < t0_ps_ + settle_ps_) continue;
+    eye_.add(t, phase_ps_, samples[k]);
+  }
+}
+
+LevelHistogramSink::LevelHistogramSink(double lo, double hi,
+                                       std::size_t n_bins, double settle_ps)
+    : hist_(lo, hi, n_bins), settle_ps_(settle_ps) {}
+
+void LevelHistogramSink::begin(double t0_ps, double dt_ps, std::size_t) {
+  t0_ps_ = t0_ps;
+  dt_ps_ = dt_ps;
+  next_ = 0;
+}
+
+void LevelHistogramSink::consume(const double* samples, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k, ++next_) {
+    const double t = t0_ps_ + dt_ps_ * static_cast<double>(next_);
+    if (t < t0_ps_ + settle_ps_) continue;
+    hist_.add(samples[k]);
+  }
+}
+
+EdgeSink::EdgeSink(const sig::EdgeExtractOptions& opt, double settle_ps)
+    : opt_(opt), settle_ps_(settle_ps) {}
+
+void EdgeSink::begin(double t0_ps, double dt_ps, std::size_t total_n) {
+  sig::EdgeExtractOptions eo = opt_;
+  eo.t_min_ps = t0_ps + settle_ps_;
+  extractor_.emplace(t0_ps, dt_ps, eo);
+  total_n_ = total_n;
+}
+
+void EdgeSink::consume(const double* samples, std::size_t n) {
+  extractor_->consume(samples, n);
+}
+
+const std::vector<sig::Edge>& EdgeSink::edges() const {
+  static const std::vector<sig::Edge> kEmpty;
+  return extractor_ ? extractor_->edges() : kEmpty;
+}
+
+std::vector<double> EdgeSink::edge_times() const {
+  return sig::edge_times(edges());
+}
+
+namespace {
+
+sig::EdgeExtractOptions jitter_extract_options(
+    const JitterMeasureOptions& opt) {
+  sig::EdgeExtractOptions eo;
+  eo.threshold_v = opt.threshold_v;
+  eo.hysteresis_v = opt.hysteresis_v;
+  return eo;
+}
+
+sig::EdgeExtractOptions delay_extract_options(const DelayMeterOptions& opt) {
+  sig::EdgeExtractOptions eo;
+  eo.threshold_v = opt.threshold_v;
+  eo.hysteresis_v = opt.hysteresis_v;
+  return eo;
+}
+
+}  // namespace
+
+JitterSink::JitterSink(double ui_ps, const JitterMeasureOptions& opt)
+    : ui_ps_(ui_ps), edge_sink_(jitter_extract_options(opt), opt.settle_ps) {}
+
+void JitterSink::begin(double t0_ps, double dt_ps, std::size_t total_n) {
+  edge_sink_.begin(t0_ps, dt_ps, total_n);
+  report_ = JitterReport{};
+}
+
+void JitterSink::consume(const double* samples, std::size_t n) {
+  edge_sink_.consume(samples, n);
+}
+
+void JitterSink::finish() {
+  report_ = analyze_jitter(edge_sink_.edge_times(), ui_ps_);
+}
+
+DelayMeterSink::DelayMeterSink(const EdgeSink& reference,
+                               const DelayMeterOptions& opt)
+    : reference_(&reference),
+      opt_(opt),
+      edge_sink_(delay_extract_options(opt), opt.settle_ps) {}
+
+EdgeSink DelayMeterSink::reference_sink(const DelayMeterOptions& opt) {
+  return EdgeSink(delay_extract_options(opt), opt.settle_ps);
+}
+
+void DelayMeterSink::begin(double t0_ps, double dt_ps, std::size_t total_n) {
+  edge_sink_.begin(t0_ps, dt_ps, total_n);
+  result_ = DelayMeasurement{};
+}
+
+void DelayMeterSink::consume(const double* samples, std::size_t n) {
+  edge_sink_.consume(samples, n);
+}
+
+void DelayMeterSink::finish() {
+  std::vector<double> rt, ot;
+  std::vector<bool> rr, orr;
+  for (const auto& e : reference_->edges()) {
+    rt.push_back(e.t_ps);
+    rr.push_back(e.rising);
+  }
+  for (const auto& e : edge_sink_.edges()) {
+    ot.push_back(e.t_ps);
+    orr.push_back(e.rising);
+  }
+  result_ = measure_delay_edges(rt, rr, ot, orr, opt_.require_equal_counts);
+}
+
+}  // namespace gdelay::meas

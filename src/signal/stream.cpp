@@ -1,0 +1,18 @@
+#include "signal/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gdelay::sig {
+
+std::size_t WaveformSource::read(double* dst, std::size_t max_n) {
+  const std::size_t remaining = wf_->size() - std::min(pos_, wf_->size());
+  const std::size_t count = std::min(max_n, remaining);
+  if (count > 0) {
+    std::memcpy(dst, wf_->samples().data() + pos_, count * sizeof(double));
+    pos_ += count;
+  }
+  return count;
+}
+
+}  // namespace gdelay::sig

@@ -1,0 +1,81 @@
+// Streaming sample sources: the producer half of the fused executor.
+//
+// A SampleSource emits a waveform chunk by chunk instead of materializing
+// it. Sources are pull-driven — the pipeline asks for the next span of
+// samples into a caller-owned buffer — and rewindable, so the same source
+// can feed several passes (e.g. a reference trace consumed once per vctrl
+// setting). Every source is required to be byte-identical to its
+// materializing counterpart at any chunk size.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/synth.h"
+#include "signal/waveform.h"
+
+namespace gdelay::sig {
+
+/// Pull-based producer of waveform samples on a uniform time grid.
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Time of sample 0.
+  virtual double t0_ps() const = 0;
+  /// Sample spacing.
+  virtual double dt_ps() const = 0;
+  /// Total number of samples the source emits per pass.
+  virtual std::size_t size() const = 0;
+  /// Restarts the source at sample 0.
+  virtual void rewind() = 0;
+  /// Copies min(max_n, remaining) samples into dst and advances; returns
+  /// the count (0 once exhausted).
+  virtual std::size_t read(double* dst, std::size_t max_n) = 0;
+};
+
+/// Replays an existing materialized waveform. The waveform is not owned
+/// and must outlive the source.
+class WaveformSource final : public SampleSource {
+ public:
+  explicit WaveformSource(const Waveform& wf) : wf_(&wf) {}
+
+  double t0_ps() const override { return wf_->t0_ps(); }
+  double dt_ps() const override { return wf_->dt_ps(); }
+  std::size_t size() const override { return wf_->size(); }
+  void rewind() override { pos_ = 0; }
+  std::size_t read(double* dst, std::size_t max_n) override;
+
+ private:
+  const Waveform* wf_;
+  std::size_t pos_ = 0;
+};
+
+/// Renders a SynthPlan chunk by chunk; the streaming counterpart of
+/// synthesize_nrz/rz/clock. Owns its plan (all RNG draws happened at
+/// planning time), so emitting samples is deterministic and the full
+/// waveform never exists in memory.
+class SynthSource final : public SampleSource {
+ public:
+  explicit SynthSource(SynthPlan plan)
+      : plan_(std::move(plan)), renderer_(plan_) {}
+
+  SynthSource(const SynthSource&) = delete;
+  SynthSource& operator=(const SynthSource&) = delete;
+
+  double t0_ps() const override { return plan_.t0_ps; }
+  double dt_ps() const override { return plan_.dt_ps; }
+  std::size_t size() const override { return plan_.n; }
+  void rewind() override { renderer_.rewind(); }
+  std::size_t read(double* dst, std::size_t max_n) override {
+    return renderer_.render(dst, max_n);
+  }
+
+  const SynthPlan& plan() const { return plan_; }
+  double unit_interval_ps() const { return plan_.unit_interval_ps; }
+
+ private:
+  SynthPlan plan_;
+  TransitionRenderer renderer_;
+};
+
+}  // namespace gdelay::sig

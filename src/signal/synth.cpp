@@ -16,39 +16,6 @@ constexpr double kTanh2080 = 1.3862943611198906;
 // Smooth unit step implemented with tanh; 0 below -W*tau, 1 above +W*tau.
 constexpr double kStepWindow = 7.0;
 
-struct Transition {
-  double t_ps;
-  double delta_v;  // level change across the transition (signed)
-};
-
-// Renders a waveform from an initial level plus a list of smooth steps.
-// Two-pointer sweep: transitions fully in the past contribute their full
-// delta to a running base level; only transitions inside the +/-W*tau
-// window are evaluated per sample.
-Waveform render(double t0, double dt, std::size_t n, double level0,
-                std::vector<Transition> trs, double tau) {
-  std::sort(trs.begin(), trs.end(),
-            [](const Transition& a, const Transition& b) { return a.t_ps < b.t_ps; });
-  Waveform wf(t0, dt, n);
-  const double w = kStepWindow * tau;
-  std::size_t lo = 0;  // first transition not yet fully in the past
-  double base = level0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double t = wf.time_at(i);
-    while (lo < trs.size() && trs[lo].t_ps < t - w) {
-      base += trs[lo].delta_v;
-      ++lo;
-    }
-    double v = base;
-    for (std::size_t k = lo; k < trs.size() && trs[k].t_ps <= t + w; ++k) {
-      const double x = (t - trs[k].t_ps) / tau;
-      v += trs[k].delta_v * 0.5 * (1.0 + util::det_tanh(x));
-    }
-    wf[i] = v;
-  }
-  return wf;
-}
-
 double dj_offset(const SynthConfig& cfg, double t_ps) {
   if (cfg.dj_pp_ps <= 0.0) return 0.0;
   return 0.5 * cfg.dj_pp_ps *
@@ -77,77 +44,145 @@ void validate(const SynthConfig& cfg) {
     throw std::invalid_argument("synth: amplitude must be > 0");
 }
 
+// Shared epilogue: grid size plus the sorted-transition invariant.
+void seal_plan(SynthPlan& plan, const SynthConfig& cfg, std::size_t n_bits) {
+  const double total = cfg.lead_in_ps +
+                       static_cast<double>(n_bits) * plan.unit_interval_ps +
+                       cfg.tail_ps;
+  plan.t0_ps = 0.0;
+  plan.dt_ps = cfg.dt_ps;
+  plan.n = static_cast<std::size_t>(std::ceil(total / cfg.dt_ps)) + 1;
+  std::sort(plan.transitions.begin(), plan.transitions.end(),
+            [](const Transition& a, const Transition& b) {
+              return a.t_ps < b.t_ps;
+            });
+}
+
 }  // namespace
 
-SynthResult synthesize_nrz(const BitPattern& bits, const SynthConfig& cfg,
-                           util::Rng* rng) {
+SynthPlan plan_nrz(const BitPattern& bits, const SynthConfig& cfg,
+                   util::Rng* rng) {
   validate(cfg);
   if (bits.empty()) throw std::invalid_argument("synthesize_nrz: empty pattern");
   const double ui = cfg.unit_interval_ps();
-  const double tau = cfg.rise_time_ps / kTanh2080;
   const double a = cfg.amplitude_v;
 
-  SynthResult res;
-  res.unit_interval_ps = ui;
-  std::vector<Transition> trs;
+  SynthPlan plan;
+  plan.unit_interval_ps = ui;
+  plan.tau_ps = cfg.rise_time_ps / kTanh2080;
+  plan.level0_v = bits.front() ? a : -a;
   const double first_edge = cfg.lead_in_ps;
   for (std::size_t i = 1; i < bits.size(); ++i) {
     if (bits[i] == bits[i - 1]) continue;
     const double t_ideal = first_edge + static_cast<double>(i - 1) * ui + ui;
     const double t = jittered(cfg, t_ideal, ui, rng);
-    res.ideal_edges_ps.push_back(t_ideal);
-    res.actual_edges_ps.push_back(t);
-    trs.push_back({t, (bits[i] ? 2.0 : -2.0) * a});
+    plan.ideal_edges_ps.push_back(t_ideal);
+    plan.actual_edges_ps.push_back(t);
+    plan.transitions.push_back({t, (bits[i] ? 2.0 : -2.0) * a});
   }
-
-  const double total =
-      cfg.lead_in_ps + static_cast<double>(bits.size()) * ui + cfg.tail_ps;
-  const auto n = static_cast<std::size_t>(std::ceil(total / cfg.dt_ps)) + 1;
-  const double level0 = bits.front() ? a : -a;
-  res.wf = render(0.0, cfg.dt_ps, n, level0, std::move(trs), tau);
-  return res;
+  seal_plan(plan, cfg, bits.size());
+  return plan;
 }
 
-SynthResult synthesize_rz(const BitPattern& bits, const SynthConfig& cfg,
-                          double duty, util::Rng* rng) {
+SynthPlan plan_rz(const BitPattern& bits, const SynthConfig& cfg, double duty,
+                  util::Rng* rng) {
   validate(cfg);
   if (bits.empty()) throw std::invalid_argument("synthesize_rz: empty pattern");
   if (duty <= 0.0 || duty >= 1.0)
     throw std::invalid_argument("synthesize_rz: duty must be in (0,1)");
   const double ui = cfg.unit_interval_ps();
-  const double tau = cfg.rise_time_ps / kTanh2080;
   const double a = cfg.amplitude_v;
 
-  SynthResult res;
-  res.unit_interval_ps = ui;
-  std::vector<Transition> trs;
+  SynthPlan plan;
+  plan.unit_interval_ps = ui;
+  plan.tau_ps = cfg.rise_time_ps / kTanh2080;
+  plan.level0_v = -a;
   for (std::size_t i = 0; i < bits.size(); ++i) {
     if (!bits[i]) continue;
     const double rise_ideal = cfg.lead_in_ps + static_cast<double>(i) * ui;
     const double fall_ideal = rise_ideal + duty * ui;
     const double tr = jittered(cfg, rise_ideal, ui, rng);
     const double tf = jittered(cfg, fall_ideal, ui, rng);
-    res.ideal_edges_ps.push_back(rise_ideal);
-    res.ideal_edges_ps.push_back(fall_ideal);
-    res.actual_edges_ps.push_back(tr);
-    res.actual_edges_ps.push_back(tf);
-    trs.push_back({tr, 2.0 * a});
-    trs.push_back({tf, -2.0 * a});
+    plan.ideal_edges_ps.push_back(rise_ideal);
+    plan.ideal_edges_ps.push_back(fall_ideal);
+    plan.actual_edges_ps.push_back(tr);
+    plan.actual_edges_ps.push_back(tf);
+    plan.transitions.push_back({tr, 2.0 * a});
+    plan.transitions.push_back({tf, -2.0 * a});
   }
+  seal_plan(plan, cfg, bits.size());
+  return plan;
+}
 
-  const double total =
-      cfg.lead_in_ps + static_cast<double>(bits.size()) * ui + cfg.tail_ps;
-  const auto n = static_cast<std::size_t>(std::ceil(total / cfg.dt_ps)) + 1;
-  res.wf = render(0.0, cfg.dt_ps, n, -a, std::move(trs), tau);
+SynthPlan plan_clock(double f_ghz, std::size_t n_cycles,
+                     const SynthConfig& cfg, util::Rng* rng) {
+  if (f_ghz <= 0.0) throw std::invalid_argument("synthesize_clock: f must be > 0");
+  SynthConfig c = cfg;
+  c.rate_gbps = 2.0 * f_ghz;  // one half-period per "bit"
+  return plan_nrz(alternating(2 * n_cycles, 0), c, rng);
+}
+
+void TransitionRenderer::rewind() {
+  i_ = 0;
+  lo_ = 0;
+  base_ = plan_->level0_v;
+}
+
+std::size_t TransitionRenderer::render(double* dst, std::size_t max_n) {
+  const SynthPlan& p = *plan_;
+  const auto& trs = p.transitions;
+  const double w = kStepWindow * p.tau_ps;
+  const std::size_t count = std::min(max_n, p.n - std::min(i_, p.n));
+  for (std::size_t out = 0; out < count; ++out, ++i_) {
+    const double t = p.t0_ps + p.dt_ps * static_cast<double>(i_);
+    while (lo_ < trs.size() && trs[lo_].t_ps < t - w) {
+      base_ += trs[lo_].delta_v;
+      ++lo_;
+    }
+    double v = base_;
+    for (std::size_t k = lo_; k < trs.size() && trs[k].t_ps <= t + w; ++k) {
+      const double x = (t - trs[k].t_ps) / p.tau_ps;
+      v += trs[k].delta_v * 0.5 * (1.0 + util::det_tanh(x));
+    }
+    dst[out] = v;
+  }
+  return count;
+}
+
+Waveform render(const SynthPlan& plan) {
+  Waveform wf(plan.t0_ps, plan.dt_ps, plan.n);
+  TransitionRenderer ren(plan);
+  ren.render(wf.samples().data(), plan.n);
+  return wf;
+}
+
+namespace {
+
+// Materializing wrapper shared by the synthesize_* entry points.
+SynthResult materialize(SynthPlan plan) {
+  SynthResult res;
+  res.unit_interval_ps = plan.unit_interval_ps;
+  res.wf = render(plan);
+  res.ideal_edges_ps = std::move(plan.ideal_edges_ps);
+  res.actual_edges_ps = std::move(plan.actual_edges_ps);
   return res;
+}
+
+}  // namespace
+
+SynthResult synthesize_nrz(const BitPattern& bits, const SynthConfig& cfg,
+                           util::Rng* rng) {
+  return materialize(plan_nrz(bits, cfg, rng));
+}
+
+SynthResult synthesize_rz(const BitPattern& bits, const SynthConfig& cfg,
+                          double duty, util::Rng* rng) {
+  return materialize(plan_rz(bits, cfg, duty, rng));
 }
 
 SynthResult synthesize_clock(double f_ghz, std::size_t n_cycles,
                              const SynthConfig& cfg, util::Rng* rng) {
-  if (f_ghz <= 0.0) throw std::invalid_argument("synthesize_clock: f must be > 0");
-  SynthConfig c = cfg;
-  c.rate_gbps = 2.0 * f_ghz;  // one half-period per "bit"
-  return synthesize_nrz(alternating(2 * n_cycles, 0), c, rng);
+  return materialize(plan_clock(f_ghz, n_cycles, cfg, rng));
 }
 
 double rj_sigma_for_tj_pp(double tj_pp_ps, std::size_t n_edges) {

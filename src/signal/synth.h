@@ -40,6 +40,70 @@ struct SynthResult {
   double unit_interval_ps = 0.0;
 };
 
+/// One smooth level change: the signal moves by `delta_v` (signed) through
+/// a tanh step centered at `t_ps`.
+struct Transition {
+  double t_ps = 0.0;
+  double delta_v = 0.0;
+};
+
+/// A fully laid-out synthesis job: sampling grid, initial level, and the
+/// time-sorted transition list. All the randomness (RJ draws, DJ phase) is
+/// baked in at planning time, so a plan is O(transitions) in memory and
+/// rendering it — all at once or chunk by chunk — is deterministic. This
+/// split is what lets the streaming executor emit multi-million-sample
+/// waveforms without ever materializing them.
+struct SynthPlan {
+  double t0_ps = 0.0;
+  double dt_ps = 1.0;
+  std::size_t n = 0;         ///< Total samples the plan renders.
+  double level0_v = 0.0;     ///< Level before the first transition.
+  double tau_ps = 1.0;       ///< Tanh time constant of every transition.
+  std::vector<Transition> transitions;  ///< Sorted by t_ps.
+  /// Edge bookkeeping, exactly as in SynthResult.
+  std::vector<double> ideal_edges_ps;
+  std::vector<double> actual_edges_ps;
+  double unit_interval_ps = 0.0;
+};
+
+/// Planning counterparts of the synthesize_* functions below: identical
+/// configuration, RNG draw order and edge lists, but no waveform yet.
+SynthPlan plan_nrz(const BitPattern& bits, const SynthConfig& cfg,
+                   util::Rng* rng = nullptr);
+SynthPlan plan_rz(const BitPattern& bits, const SynthConfig& cfg,
+                  double duty = 0.5, util::Rng* rng = nullptr);
+SynthPlan plan_clock(double f_ghz, std::size_t n_cycles,
+                     const SynthConfig& cfg, util::Rng* rng = nullptr);
+
+/// Renders the whole plan into a waveform (the materializing path).
+Waveform render(const SynthPlan& plan);
+
+/// Resumable renderer over a SynthPlan. Renders consecutive sample spans
+/// on demand; the two-pointer sweep state (first in-window transition,
+/// accumulated base level) carries across calls, so the emitted samples
+/// are byte-identical to render() at any chunking. The plan must outlive
+/// the renderer.
+class TransitionRenderer {
+ public:
+  explicit TransitionRenderer(const SynthPlan& plan) : plan_(&plan) {
+    rewind();
+  }
+
+  /// Restarts from sample 0.
+  void rewind();
+  /// Global index of the next sample render() will emit.
+  std::size_t next_index() const { return i_; }
+  /// Renders min(max_n, remaining) samples into dst; returns the count
+  /// (0 once the plan is exhausted).
+  std::size_t render(double* dst, std::size_t max_n);
+
+ private:
+  const SynthPlan* plan_;
+  std::size_t i_ = 0;   ///< Next sample index.
+  std::size_t lo_ = 0;  ///< First transition not yet fully in the past.
+  double base_ = 0.0;   ///< Sum of levels of fully past transitions.
+};
+
 /// NRZ waveform for a bit pattern. `rng` may be null when rj_sigma_ps == 0.
 SynthResult synthesize_nrz(const BitPattern& bits, const SynthConfig& cfg,
                            util::Rng* rng = nullptr);

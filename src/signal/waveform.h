@@ -53,9 +53,23 @@ class Waveform {
   /// In-place scale and offset: v <- v * gain + offset.
   Waveform& scale(double gain, double offset = 0.0);
 
+  /// In-place per-sample transform: v[i] <- f(v[i]). Returns *this for
+  /// chaining; replaces the copy-out/transform/copy-back pattern.
+  template <typename F>
+  Waveform& map_samples(F&& f) {
+    for (double& x : v_) x = f(x);
+    return *this;
+  }
+
   /// Returns a copy shifted in time by `shift_ps` (pure relabeling of the
   /// time axis; samples are untouched).
   Waveform shifted(double shift_ps) const;
+
+  /// In-place time shift: relabels the time axis without copying samples.
+  Waveform& shift(double shift_ps) {
+    t0_ += shift_ps;
+    return *this;
+  }
 
   /// Returns the sub-waveform covering [t_from, t_to] (clamped).
   Waveform slice(double t_from_ps, double t_to_ps) const;

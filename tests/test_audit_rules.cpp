@@ -1,5 +1,5 @@
 // Unit coverage for the gdelay-audit rule engine (tools/audit). Each rule
-// R1-R5 gets a violating, a clean, and a waived case; the final test
+// R1-R6 gets a violating, a clean, and a waived case; the final test
 // self-scans the live src/ tree and asserts it is clean, which is the
 // same check `ctest -R Audit` and the CI gate run via the CLI.
 #include <algorithm>
@@ -249,6 +249,71 @@ TEST(AuditR5, InlineWaiverSilences) {
       "signal/x.cpp",
       "// gdelay-audit: allow(R5) narrowing is intentional for the DAC model\n"
       "float dac_code(double v) { return static_cast<float>(v); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R6 — no per-chunk allocation in measurement sinks
+// --------------------------------------------------------------------------
+
+TEST(AuditR6, FlagsContainerGrowthInConsume) {
+  auto fs = scan_source("measure/x.cpp",
+                        "void CaptureSink::consume(const double* s,\n"
+                        "                          std::size_t n) {\n"
+                        "  for (std::size_t i = 0; i < n; ++i)\n"
+                        "    samples_.push_back(s[i]);\n"
+                        "}\n");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R6"}) << render(fs);
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_NE(fs[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(AuditR6, FlagsInClassDefinitionAndPointerCalls) {
+  auto fs = scan_source("measure/x.h",
+                        "class Sink : public ISampleSink {\n"
+                        " public:\n"
+                        "  void consume(const double* s, std::size_t n)\n"
+                        "      override {\n"
+                        "    buf_->resize(n);\n"
+                        "    ticks_.emplace_back(n);\n"
+                        "  }\n"
+                        "};\n");
+  ASSERT_EQ(rules_of(fs), (std::vector<std::string>{"R6", "R6"}))
+      << render(fs);
+}
+
+TEST(AuditR6, CleanOutsideConsumeAndOnNonGrowthCalls) {
+  // Growth in begin()/finish() is fine (one-shot, not per chunk), and a
+  // consume() body that only indexes or memcpy's never allocates.
+  auto fs = scan_source(
+      "measure/x.cpp",
+      "void Sink::begin(double t0, double dt, std::size_t n) {\n"
+      "  samples_.reserve(n);\n"
+      "}\n"
+      "void Sink::consume(const double* s, std::size_t n) {\n"
+      "  std::memcpy(samples_.data() + pos_, s, n * sizeof(double));\n"
+      "  pos_ += n;\n"
+      "}\n"
+      "void Sink::finish() { edges_.push_back(last_); }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR6, DelegatingConsumeCallIsNotGrowth) {
+  auto fs = scan_source("measure/x.cpp",
+                        "void JitterSink::consume(const double* s,\n"
+                        "                         std::size_t n) {\n"
+                        "  edge_sink_.consume(s, n);\n"
+                        "}\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR6, InlineWaiverSilencesWithReason) {
+  auto fs = scan_source(
+      "signal/x.cpp",
+      "void Extractor::consume(const double* s, std::size_t n) {\n"
+      "  // gdelay-audit: allow(R6) pruned window, O(transition) bounded\n"
+      "  hist_.push_back(s[0]);\n"
+      "}\n");
   EXPECT_TRUE(fs.empty()) << render(fs);
 }
 

@@ -403,6 +403,78 @@ void scan_r5(const std::string& label, const Lexed& lx, const Options& opt,
 }
 
 // ---------------------------------------------------------------------------
+// R6 — incremental sinks must not allocate per chunk
+//
+// consume() is the fused executor's steady-state hot path: it runs once per
+// chunk for the whole stream, so a container-growth call there turns the
+// executor's O(chunk) memory promise into O(stream) and adds allocator
+// traffic per chunk. The scanner keys on the *function name* — any body
+// whose declarator is `consume(` — rather than on the ISampleSink base
+// clause, because out-of-class definitions ('void EyeSink::consume(...)')
+// do not carry the base clause in the same file. Growth that is genuinely
+// bounded (reserved up front, O(transition) not O(stream)) is waived
+// inline with a justification.
+// ---------------------------------------------------------------------------
+
+void scan_r6(const std::string& label, const Lexed& lx,
+             std::vector<Finding>& out) {
+  static const std::unordered_set<std::string> growth = {
+      "push_back",  "emplace_back", "push_front", "emplace_front",
+      "insert",     "emplace",      "resize",     "reserve",
+      "append",     "assign"};
+  const auto& toks = lx.tokens;
+  int depth = 0;       // brace nesting
+  int consume_at = -1; // depth of the consume body's opening brace, or -1
+  std::vector<std::size_t> stmt;  // token indices of the pending statement
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Punct && t.text == "{") {
+      if (consume_at < 0) {
+        // Declarator check: the identifier before the statement's first
+        // '(' names the function being defined. Matches both in-class
+        // 'void consume(...) override {' and out-of-class
+        // 'void EyeSink::consume(...) {' definitions.
+        for (std::size_t k = 0; k < stmt.size(); ++k) {
+          const Token& s = toks[stmt[k]];
+          if (s.kind == Token::Punct && s.text == "(") {
+            if (k > 0 && toks[stmt[k - 1]].kind == Token::Ident &&
+                toks[stmt[k - 1]].text == "consume")
+              consume_at = depth;
+            break;
+          }
+        }
+      }
+      ++depth;
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Punct && t.text == "}") {
+      depth = std::max(0, depth - 1);
+      if (consume_at >= 0 && depth <= consume_at) consume_at = -1;
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Token::Punct && t.text == ";") {
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(i);
+    if (consume_at >= 0 && t.kind == Token::Punct && t.text == "(" &&
+        i >= 2 && toks[i - 1].kind == Token::Ident &&
+        growth.count(toks[i - 1].text) && toks[i - 2].kind == Token::Punct &&
+        (toks[i - 2].text == "." || toks[i - 2].text == "->")) {
+      out.push_back(
+          {label, toks[i - 1].line, "R6",
+           "container growth '" + toks[i - 1].text +
+               "(' inside consume(); the streaming hot path must stay "
+               "allocation-free — size the container in begin() or the "
+               "constructor, or waive with a justification if the growth "
+               "is provably bounded"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // R3 / R4 — scope-stack pass
 //
 // A statement accumulator plus a brace-scope stack classifies each '{' as
@@ -679,6 +751,7 @@ std::vector<Finding> scan_source(const std::string& label,
   scan_r2(label, lx, opt, findings);
   scan_r3_r4(label, lx, opt, findings);
   scan_r5(label, lx, opt, findings);
+  scan_r6(label, lx, findings);
   findings = apply_waivers(std::move(findings), label, lx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

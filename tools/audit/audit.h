@@ -26,6 +26,10 @@
 //       GDELAY_THREADS, and order-of-initialization hazards).
 //   R5  no float: the analog path (analog/, signal/, core/) is double
 //       end-to-end; a float literal or variable would silently round.
+//   R6  no per-chunk allocation in measurement sinks: a container-growth
+//       call (push_back/emplace/insert/resize/...) inside a consume()
+//       body breaks the streaming executor's O(chunk) memory contract.
+//       Bounded growth (reserved up front) is waived inline.
 //
 // Diagnostics are GCC-style `file:line: error[rule]: message`. A finding
 // can be waived inline:
@@ -51,7 +55,7 @@ namespace gdelay::audit {
 struct Finding {
   std::string file;     ///< Label the file was scanned under.
   int line = 0;         ///< 1-based.
-  std::string rule;     ///< "R1".."R5", or "waiver" for a malformed waiver.
+  std::string rule;     ///< "R1".."R6", or "waiver" for a malformed waiver.
   std::string message;  ///< Human-readable explanation with the fix.
 };
 
