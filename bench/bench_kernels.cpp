@@ -5,18 +5,23 @@
 // contract costs — and what hoisting the dt-dependent coefficients,
 // batching the Gaussian draws and running stage-major buys back.
 //
-// Emits BENCH_kernels.json with samples/s per kernel and the headline
-// FineDelayLine block-vs-step speedup (target: >= 3x single-thread).
+// Emits BENCH_kernels.json (schema 4, with the compute-backend stamp)
+// with samples/s per kernel, the headline FineDelayLine block-vs-step
+// speedup (target: >= 3x single-thread), and — when the AVX2 backend is
+// usable on this machine — per-kernel and whole-channel scalar-vs-AVX2
+// rows with the SIMD speedup verdict (target: >= 4x on the channel).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "analog/buffer.h"
 #include "analog/coupling.h"
 #include "analog/primitives.h"
+#include "backend/backend.h"
 #include "bench/common.h"
 #include "bench/gbench_json.h"
 #include "bench/memtrack.h"
@@ -25,6 +30,7 @@
 #include "util/rng.h"
 
 namespace ga = gdelay::analog;
+namespace gb = gdelay::backend;
 namespace gc = gdelay::core;
 using gdelay::util::Rng;
 
@@ -193,12 +199,128 @@ void VariableDelayChannel_block(benchmark::State& s) {
 BENCHMARK(VariableDelayChannel_step);
 BENCHMARK(VariableDelayChannel_block);
 
+// ---------------------------------------------------------------------------
+// Raw backend-kernel rows: the hot loops in isolation, one row per
+// (kernel, backend). Registered at runtime because the AVX2 rows only
+// exist when the backend is usable on this machine. The names are
+// "Kernel_<op>/<backend>" so the json diff tooling pairs them up.
+
+bool avx2_usable() {
+  return gb::avx2_kernels() != nullptr && gb::cpu_supports_avx2();
+}
+
+template <typename LoopFn>
+void kernel_row(benchmark::State& s, const char* backend, LoopFn loop) {
+  gb::select(backend);
+  const gb::Kernels& k = gb::active();
+  const auto& in = stim();
+  std::vector<double> out(in.size()), out2(in.size());
+  for (auto _ : s) {
+    loop(k, in.data(), out.data(), out2.data(), in.size());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  s.SetItemsProcessed(static_cast<int64_t>(s.iterations() * in.size()));
+  gb::select("scalar");
+}
+
+void register_kernel_rows(const char* backend) {
+  const std::string suffix = std::string("/") + backend;
+  benchmark::RegisterBenchmark(
+      ("Kernel_tanh" + suffix).c_str(), [backend](benchmark::State& s) {
+        kernel_row(s, backend,
+                   [](const gb::Kernels& k, const double* in, double* out,
+                      double*, std::size_t n) {
+                     k.tanh_stage(in, nullptr, out, n, 2.0, 0.2, 1.0);
+                   });
+      });
+  benchmark::RegisterBenchmark(
+      ("Kernel_exp" + suffix).c_str(), [backend](benchmark::State& s) {
+        kernel_row(s, backend,
+                   [](const gb::Kernels& k, const double* in, double* out,
+                      double*, std::size_t n) { k.exp_block(in, out, n); });
+      });
+  benchmark::RegisterBenchmark(
+      ("Kernel_onepole" + suffix).c_str(), [backend](benchmark::State& s) {
+        gb::OnePoleState st{};
+        kernel_row(s, backend,
+                   [&st](const gb::Kernels& k, const double* in, double* out,
+                         double*, std::size_t n) {
+                     k.one_pole(in, out, n, 0.17, st);
+                   });
+      });
+  benchmark::RegisterBenchmark(
+      ("Kernel_slew" + suffix).c_str(), [backend](benchmark::State& s) {
+        gb::SlewCoeffs c;
+        c.max_step = 0.00125;
+        c.lin = 0.0124;
+        c.leak = 0.00083;
+        c.has_lin = true;
+        c.has_leak = true;
+        gb::SlewState st;
+        kernel_row(s, backend,
+                   [&](const gb::Kernels& k, const double* in, double* out,
+                       double*, std::size_t n) { k.slew(in, out, n, c, st); });
+      });
+  benchmark::RegisterBenchmark(
+      ("Kernel_boxmuller" + suffix).c_str(), [backend](benchmark::State& s) {
+        // Uniform pair arrays prepared once; the row isolates the
+        // transform (det_log + sqrt + det_sincos2pi), not the RNG.
+        const auto& raw = stim();
+        std::vector<double> u1(raw.size()), u2(raw.size());
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+          u2[i] = std::abs(raw[i]) / 0.71;
+          if (u2[i] >= 1.0) u2[i] = 0.999;
+          u1[i] = 1.0 - u2[i];
+        }
+        kernel_row(s, backend,
+                   [&](const gb::Kernels& k, const double*, double* oc,
+                       double* os, std::size_t n) {
+                     k.box_muller(u1.data(), u2.data(), oc, os, n);
+                   });
+      });
+}
+
+// Whole-channel block path per backend — the tentpole target number:
+// "VariableDelayChannel_block/avx2" vs "/scalar".
+void register_channel_rows(const char* backend) {
+  benchmark::RegisterBenchmark(
+      (std::string("VariableDelayChannel_block/") + backend).c_str(),
+      [backend](benchmark::State& s) {
+        gb::select(backend);
+        gc::VariableDelayChannel ch(gc::ChannelConfig::prototype(), Rng(5));
+        ch.set_vctrl(0.75);
+        run_block(s, ch);
+        gb::select("scalar");
+      });
+  benchmark::RegisterBenchmark(
+      (std::string("FineDelayLine_block/") + backend).c_str(),
+      [backend](benchmark::State& s) {
+        gb::select(backend);
+        gc::FineDelayLine line(gc::FineDelayConfig{}, Rng(4));
+        line.set_vctrl(0.75);
+        run_block(s, line);
+        gb::select("scalar");
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string outdir = gdelay::bench::parse_outdir(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  register_kernel_rows("scalar");
+  register_channel_rows("scalar");
+  if (avx2_usable()) {
+    register_kernel_rows("avx2");
+    register_channel_rows("avx2");
+  } else {
+    std::printf("note: AVX2 backend not usable on this machine; "
+                "scalar-only rows\n");
+  }
+
   gdelay::bench::CaptureReporter rep;
   benchmark::RunSpecifiedBenchmarks(&rep);
 
@@ -215,6 +337,26 @@ int main(int argc, char** argv) {
               fine >= 3.0 ? "PASS" : "MISS");
   std::printf("  VariableDelayChannel: %.2fx\n", chan);
 
+  // SIMD verdict: the AVX2 table vs the scalar oracle, both on the block
+  // path (the PR that introduced blocks is the baseline the 4x target is
+  // written against).
+  const auto ratio_of = [&](const std::string& name) {
+    const double sc = rep.items_per_sec(name + "/scalar");
+    const double vx = rep.items_per_sec(name + "/avx2");
+    return sc > 0.0 && vx > 0.0 ? vx / sc : 0.0;
+  };
+  const double simd_chan = ratio_of("VariableDelayChannel_block");
+  if (avx2_usable()) {
+    std::printf("\navx2-vs-scalar speedup (block path):\n");
+    for (const char* k : {"Kernel_tanh", "Kernel_exp", "Kernel_onepole",
+                          "Kernel_slew", "Kernel_boxmuller"})
+      std::printf("  %-20s: %.2fx\n", k, ratio_of(k));
+    std::printf("  FineDelayLine_block : %.2fx\n",
+                ratio_of("FineDelayLine_block"));
+    std::printf("  VariableDelayChannel_block: %.2fx (target >= 4x)  %s\n",
+                simd_chan, simd_chan >= 4.0 ? "PASS" : "MISS");
+  }
+
   const auto heap = gdelay::bench::heap_snapshot();
   gdelay::bench::MemReport mem;
   mem.peak_rss_bytes = gdelay::bench::peak_rss_bytes();
@@ -226,7 +368,9 @@ int main(int argc, char** argv) {
       {{"dt_ps", kDt},
        {"fine_delay_block_speedup", fine},
        {"channel_block_speedup", chan},
-       {"speedup_target", 3.0}},
+       {"speedup_target", 3.0},
+       {"simd_channel_speedup", simd_chan},
+       {"simd_speedup_target", 4.0}},
       &mem);
   benchmark::Shutdown();
   return 0;

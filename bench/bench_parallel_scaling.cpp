@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "backend/backend.h"
 #include "bench/common.h"
 #include "core/board.h"
 #include "signal/pattern.h"
@@ -19,8 +20,9 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
-// Stamped by bench/CMakeLists.txt; BENCH_parallel.json schema 3 carries it
-// so each snapshot is attributable (see bench/gbench_json.h).
+// Stamped by bench/CMakeLists.txt; BENCH_parallel.json schema 4 carries it
+// plus the compute-backend stamp so each snapshot is attributable (see
+// bench/gbench_json.h).
 #ifndef GDELAY_GIT_REV
 #define GDELAY_GIT_REV "unknown"
 #endif
@@ -127,8 +129,13 @@ int main(int argc, char** argv) {
   const std::string json_path = outdir + "/BENCH_parallel.json";
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f, "{\n  \"bench\": \"parallel_scaling\",\n");
-    std::fprintf(f, "  \"schema\": 3,\n  \"git_rev\": \"%s\",\n",
+    std::fprintf(f, "  \"schema\": 4,\n  \"git_rev\": \"%s\",\n",
                  GDELAY_GIT_REV);
+    const auto& bk = gdelay::backend::active();
+    std::fprintf(f,
+                 "  \"backend\": {\"name\": \"%s\", \"isa\": \"%s\", "
+                 "\"reason\": \"%s\"},\n",
+                 bk.name, bk.isa, gdelay::backend::dispatch_reason());
     std::fprintf(f, "  \"mem\": {\"peak_rss_bytes\": %zu},\n",
                  bench::peak_rss_bytes());
     std::fprintf(f, "  \"workload\": \"DelayBoard::calibrate 4ch x %d-point sweep\",\n",

@@ -11,8 +11,8 @@
 //              size, including chunk = 1. A mismatch exits nonzero, so
 //              CI treats bit drift as a hard failure.
 //
-// Emits BENCH_streaming.json (schema 3: timing + "mem" block, see
-// bench/gbench_json.h and bench/memtrack.h).
+// Emits BENCH_streaming.json (schema 4: timing + "mem" block + the
+// compute-backend stamp, see bench/gbench_json.h and bench/memtrack.h).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "backend/backend.h"
+
 // Stamped by the build (bench/CMakeLists.txt) from `git rev-parse`;
 // "unknown" outside a git checkout.
 #ifndef GDELAY_GIT_REV
@@ -26,10 +28,28 @@ namespace gdelay::bench {
 // "schema" and "git_rev" so perf snapshots are attributable to a commit;
 // v3 adds an optional "mem" object (peak RSS + heap accounting, see
 // bench/memtrack.h) and moves the files out of the CWD into an output
-// directory (default bench/out/, see parse_outdir). Readers must
-// tolerate all shapes: treat a missing "schema" as v1 and a missing
-// "mem" as v2-style timing-only data.
-inline constexpr int kBenchJsonSchema = 3;
+// directory (default bench/out/, see parse_outdir); v4 adds a "backend"
+// object (compute-backend name, ISA level and the dispatch reason) so a
+// perf number can never be compared against one measured under a
+// different kernel table without noticing. Readers must tolerate all
+// shapes: treat a missing "schema" as v1, a missing "mem" as v2-style
+// timing-only data, and a missing "backend" as the scalar oracle.
+inline constexpr int kBenchJsonSchema = 4;
+
+/// The v4 "backend" stamp, read from the dispatcher at call time. Dual-
+/// backend harnesses select backends per benchmark run; the stamp then
+/// records the table active when the json was written (the per-row
+/// names carry the per-run backend).
+struct BackendStamp {
+  const char* name;
+  const char* isa;
+  const char* reason;
+};
+
+inline BackendStamp backend_stamp() {
+  const gdelay::backend::Kernels& k = gdelay::backend::active();
+  return {k.name, k.isa, gdelay::backend::dispatch_reason()};
+}
 
 /// Memory numbers for the v3 "mem" object. Zero means "not tracked"
 /// (e.g. a bench that reports RSS but does not replace operator new).
@@ -87,10 +107,14 @@ inline void write_gbench_json(
     std::fprintf(stderr, "could not write %s\n", path);
     return;
   }
+  const BackendStamp bs = backend_stamp();
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"schema\": %d,\n"
-               "  \"git_rev\": \"%s\",\n  \"results\": [",
-               bench_name, kBenchJsonSchema, GDELAY_GIT_REV);
+               "  \"git_rev\": \"%s\",\n"
+               "  \"backend\": {\"name\": \"%s\", \"isa\": \"%s\", "
+               "\"reason\": \"%s\"},\n  \"results\": [",
+               bench_name, kBenchJsonSchema, GDELAY_GIT_REV, bs.name, bs.isa,
+               bs.reason);
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"wall_ns_per_iter\": %.1f, "

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/backend.h"
 #include "util/fastmath.h"
 #include "util/scratch.h"
 
@@ -43,42 +44,43 @@ void VariableGainBuffer::reset() {
   noise_.reset();
   slew_.reset();
   out_pole_.reset();
-  droop_state_ = 0.0;
-  prev_out_ = 0.0;
-  first_sample_ = true;
+  tail_ = {};
+}
+
+backend::VgaTailCoeffs VariableGainBuffer::tail_coeffs(double dt_ps) {
+  // Every value is a pure function of (config, vctrl_, dt) and is formed
+  // by the same expressions the historical inline step() used, so both
+  // paths and all backends agree bitwise. amp_frac is hoisted as
+  // amp - (amp*frac)*droop rather than amp*(1 - frac*droop): one fewer
+  // multiply on the serially-dependent droop chain.
+  backend::VgaTailCoeffs c;
+  c.amp = amplitude();
+  c.amp_frac = c.amp * cfg_.droop_frac;
+  c.max_step = cfg_.slew_v_per_ps * dt_ps;
+  // Multiplying by the reciprocal (instead of dividing) keeps the
+  // expensive divide off the per-sample droop recursion.
+  c.inv_max_step = c.max_step > 0.0 ? 1.0 / c.max_step : 0.0;
+  c.alpha = 1.0 - util::det_exp(-dt_ps / cfg_.droop_tau_ps);
+  slew_.prime(dt_ps);
+  c.slew = slew_.primed_coeffs();
+  return c;
 }
 
 double VariableGainBuffer::step(double vin, double dt_ps) {
   double x = input_.step(vin, dt_ps);
   x = lpf_.step(x, dt_ps);
   x += noise_.step(dt_ps);
-  // Bias droop: the realized amplitude sags with recent switching
-  // activity (fraction of time the output stage was slew-limited).
-  // Written as amp - (amp*frac)*droop rather than amp*(1 - frac*droop):
-  // amp*frac is a pure function of Vctrl, so the block path hoists it
-  // and its fused loop carries one fewer multiply on the serial droop
-  // chain. Both paths share the expression shape, so they agree bitwise.
-  const double amp = amplitude();
-  const double a = amp - (amp * cfg_.droop_frac) * droop_state_;
-  // Limiting output stage: saturates at the (drooped) half-swing.
-  const double target =
-      a * util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
-  const double slewed = slew_.step(target, dt_ps);
-  const double max_step = cfg_.slew_v_per_ps * dt_ps;
-  // Continuous switching-activity measure: |dV| relative to the slew
-  // limit, averaged over droop_tau. Smooth (not binary) so the droop
-  // feedback settles instead of hunting. Multiplying by the reciprocal
-  // (instead of dividing) keeps the expensive divide off the
-  // serially-dependent droop chain in the block path's fused loop —
-  // both paths use the same expression so they stay byte-identical.
-  const double inv_max_step = max_step > 0.0 ? 1.0 / max_step : 0.0;
-  double activity = 0.0;
-  if (!first_sample_ && max_step > 0.0)
-    activity = std::min(1.0, std::abs(slewed - prev_out_) * inv_max_step);
-  first_sample_ = false;
-  prev_out_ = slewed;
-  const double alpha = 1.0 - util::det_exp(-dt_ps / cfg_.droop_tau_ps);
-  droop_state_ += alpha * (activity - droop_state_);
+  // Unit-amplitude limiting output stage; the (droop-sagged) half-swing
+  // is applied inside the tail step — bias droop models the output
+  // stage's tail current sagging with recent switching activity
+  // (fraction of time spent slew-limited), the paper's Fig. 15 roll-off
+  // mechanism. vga_tail_step is the shared backend reference step, so
+  // this path and the block kernel agree byte for byte.
+  const double lim =
+      util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
+  const backend::VgaTailCoeffs c = tail_coeffs(dt_ps);
+  const double slewed =
+      backend::vga_tail_step(c, slew_.state(), tail_, lim);
   return out_pole_.step(slewed, dt_ps);
 }
 
@@ -86,52 +88,23 @@ void VariableGainBuffer::process_block(const double* in, double* out,
                                        std::size_t n, double dt_ps) {
   util::ScratchBuffer noise(n);
   util::ScratchBuffer lim(n);
+  const backend::Kernels& k = backend::active();
   input_.process_block(in, out, n, dt_ps);
   lpf_.process_block(out, out, n, dt_ps);
   noise_.process_block(noise.data(), n, dt_ps);
   // The limiter argument is feedforward — it depends only on the
   // filtered input plus noise, not on the droop/slew recursion — so the
-  // tanh pass is hoisted out of the recursion into an elementwise loop
-  // that auto-vectorizes. step() forms `a * det_tanh(arg)` from the same
-  // doubles in the same order, so the split changes nothing bitwise.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = out[i] + noise[i];
-    lim[i] = util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
-  }
-  // Hoisted invariants of the fused droop/slew recursion. amplitude() is
-  // a pure function of the fixed Vctrl, and every exp() argument depends
-  // only on dt — the values below are bit-equal to what step() derives
-  // per sample.
-  const double amp = amplitude();
-  const double amp_frac = amp * cfg_.droop_frac;
-  const double max_step = cfg_.slew_v_per_ps * dt_ps;
-  const double inv_max_step = max_step > 0.0 ? 1.0 / max_step : 0.0;
-  const double alpha = 1.0 - util::det_exp(-dt_ps / cfg_.droop_tau_ps);
-  slew_.prime(dt_ps);
-  // The recursion state is copied into locals for the loop (and written
-  // back after) for the same reason SlewRateLimiter::Primed exists: the
-  // out[i] stores are doubles, so member state touched inside the loop
-  // would be assumed aliased and reloaded every iteration.
-  SlewRateLimiter::Primed sp = slew_.primed();
-  double droop = droop_state_;
-  double prev = prev_out_;
-  bool first = first_sample_;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double a = amp - amp_frac * droop;
-    const double target = a * lim[i];
-    const double slewed = SlewRateLimiter::step_primed(sp, target);
-    double activity = 0.0;
-    if (!first && max_step > 0.0)
-      activity = std::min(1.0, std::abs(slewed - prev) * inv_max_step);
-    first = false;
-    prev = slewed;
-    droop += alpha * (activity - droop);
-    out[i] = slewed;
-  }
-  slew_.commit(sp);
-  droop_state_ = droop;
-  prev_out_ = prev;
-  first_sample_ = first;
+  // tanh pass is hoisted out of the recursion into the elementwise
+  // tanh_stage kernel (the AVX2 backend's biggest win in this element).
+  // step() forms the same doubles in the same order, so the split
+  // changes nothing bitwise.
+  k.tanh_stage(out, noise.data(), lim.data(), n, cfg_.output_gain,
+               cfg_.output_ref_v, 1.0);
+  // The droop/slew recursion feeds back sample-to-sample through a
+  // clamp, so it stays a serial kernel on every backend (the AVX2 table
+  // points at the shared scalar definition).
+  const backend::VgaTailCoeffs c = tail_coeffs(dt_ps);
+  k.vga_tail(lim.data(), out, n, c, slew_.state(), tail_);
   out_pole_.process_block(out, out, n, dt_ps);
 }
 
@@ -168,12 +141,10 @@ void LimitingBuffer::process_block(const double* in, double* out,
   input_.process_block(in, out, n, dt_ps);
   lpf_.process_block(out, out, n, dt_ps);
   noise_.process_block(noise.data(), n, dt_ps);
-  // Elementwise and branch-free (det_tanh): auto-vectorizes on SSE2.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = out[i] + noise[i];
-    out[i] = cfg_.out_swing_v *
-             util::det_tanh(cfg_.output_gain * x / cfg_.output_ref_v);
-  }
+  // Elementwise limiting stage through the backend tanh_stage kernel —
+  // bit-exact against step()'s inline expression on every backend.
+  backend::active().tanh_stage(out, noise.data(), out, n, cfg_.output_gain,
+                               cfg_.output_ref_v, cfg_.out_swing_v);
   slew_.process_block(out, out, n, dt_ps);
 }
 

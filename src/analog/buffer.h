@@ -75,7 +75,7 @@ class VariableGainBuffer final : public AnalogElement {
   double amplitude() const;
   /// Current droop state in [0, 1]: fraction of recent time spent
   /// slew-limited (diagnostic).
-  double droop() const { return droop_state_; }
+  double droop() const { return tail_.droop; }
   /// A(v) for an arbitrary control voltage (pure function of the config).
   double amplitude_for(double vctrl) const;
 
@@ -99,6 +99,10 @@ class VariableGainBuffer final : public AnalogElement {
                      double dt_ps) override;
 
  private:
+  /// Hoists the droop/slew-tail coefficients for (vctrl_, dt_ps) — every
+  /// value a pure function of the config, bit-equal between paths.
+  backend::VgaTailCoeffs tail_coeffs(double dt_ps);
+
   VgaBufferConfig cfg_;
   double vctrl_;
   TanhLimiter input_;
@@ -106,9 +110,7 @@ class VariableGainBuffer final : public AnalogElement {
   NoiseSource noise_;
   SlewRateLimiter slew_;
   SinglePoleFilter out_pole_;
-  double droop_state_ = 0.0;
-  double prev_out_ = 0.0;
-  bool first_sample_ = true;
+  backend::VgaTailState tail_;
 };
 
 struct LimitingBufferConfig {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/backend.h"
 #include "util/units.h"
 #include "util/fastmath.h"
 
@@ -61,7 +62,7 @@ void AcCoupler::process_block(const double* in, double* out, std::size_t n,
 
 void Attenuator::process_block(const double* in, double* out, std::size_t n,
                                double /*dt_ps*/) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] * factor_;
+  backend::active().scale(in, out, n, factor_);
 }
 
 Attenuator::Attenuator(double loss_db)
@@ -76,17 +77,27 @@ NoiseSource::NoiseSource(double sigma_v, double bandwidth_ghz, util::Rng rng)
     throw std::invalid_argument("NoiseSource: bandwidth must be > 0");
 }
 
-void NoiseSource::reset() { y_ = 0.0; }
+void NoiseSource::reset() { st_ = {}; }
 
 double NoiseSource::step(double dt_ps) {
   if (sigma_ == 0.0) return 0.0;
-  const double tau = 1000.0 / (2.0 * util::kPi * bw_);
-  const double alpha = 1.0 - util::det_exp(-dt_ps / tau);
+  prime(dt_ps);
   // Var(y) = Var(x) * alpha / (2 - alpha) for a one-pole filter driven by
-  // white noise; scale the white input so Var(y) == sigma^2.
-  const double sx = sigma_ * std::sqrt((2.0 - alpha) / alpha);
-  y_ += alpha * (rng_.gaussian(0.0, sx) - y_);
-  return y_;
+  // white noise; scale the white input so Var(y) == sigma^2. The pole is
+  // an n == 1 backend kernel call so step-vs-block identity holds per
+  // backend (the AVX2 scan carries its group phase in st_).
+  const double x = rng_.gaussian(0.0, blk_sx_);
+  double out;
+  backend::active().one_pole(&x, &out, 1, blk_alpha_, st_);
+  return out;
+}
+
+void NoiseSource::prime(double dt_ps) {
+  if (dt_ps == blk_dt_) return;
+  blk_dt_ = dt_ps;
+  const double tau = 1000.0 / (2.0 * util::kPi * bw_);
+  blk_alpha_ = 1.0 - util::det_exp(-dt_ps / tau);
+  blk_sx_ = sigma_ * std::sqrt((2.0 - blk_alpha_) / blk_alpha_);
 }
 
 void NoiseSource::process_block(double* out, std::size_t n, double dt_ps) {
@@ -94,20 +105,9 @@ void NoiseSource::process_block(double* out, std::size_t n, double dt_ps) {
     std::fill(out, out + n, 0.0);
     return;
   }
-  if (dt_ps != blk_dt_) {
-    blk_dt_ = dt_ps;
-    const double tau = 1000.0 / (2.0 * util::kPi * bw_);
-    blk_alpha_ = 1.0 - util::det_exp(-dt_ps / tau);
-    blk_sx_ = sigma_ * std::sqrt((2.0 - blk_alpha_) / blk_alpha_);
-  }
-  const double alpha = blk_alpha_;
+  prime(dt_ps);
   rng_.fill_gaussian(out, n, 0.0, blk_sx_);
-  double y = y_;
-  for (std::size_t i = 0; i < n; ++i) {
-    y += alpha * (out[i] - y);
-    out[i] = y;
-  }
-  y_ = y;
+  backend::active().one_pole(out, out, n, blk_alpha_, st_);
 }
 
 sig::Waveform NoiseSource::waveform(double t0_ps, double dt_ps,

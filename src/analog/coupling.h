@@ -7,6 +7,7 @@
 
 #include "analog/element.h"
 #include "analog/primitives.h"
+#include "backend/backend.h"
 #include "signal/waveform.h"
 #include "util/rng.h"
 
@@ -82,10 +83,13 @@ class NoiseSource {
   sig::Waveform waveform(double t0_ps, double dt_ps, std::size_t n);
 
  private:
+  /// (Re)derives the dt-dependent filter coefficients.
+  void prime(double dt_ps);
+
   double sigma_;
   double bw_;
   util::Rng rng_;
-  double y_ = 0.0;
+  backend::OnePoleState st_;
   double blk_dt_ = 0.0;
   double blk_alpha_ = 0.0;
   double blk_sx_ = 0.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/backend.h"
 #include "util/fastmath.h"
 #include "util/scratch.h"
 #include "util/units.h"
@@ -20,10 +21,14 @@ double SinglePoleFilter::tau_ps() const {
 }
 
 double SinglePoleFilter::step(double vin, double dt_ps) {
-  // Exact discretization of the first-order ODE over one step.
-  const double alpha = 1.0 - util::det_exp(-dt_ps / tau_ps());
-  y_ += alpha * (vin - y_);
-  return y_;
+  // Exact discretization of the first-order ODE over one step, routed
+  // through the backend as an n == 1 kernel call: under the scalar
+  // oracle this is exactly `y += alpha * (vin - y)`, and under the AVX2
+  // scan it advances the same group state a block call would, so
+  // step-vs-block identity holds per backend, not just for scalar.
+  double out;
+  backend::active().one_pole(&vin, &out, 1, alpha_for(dt_ps), st_);
+  return out;
 }
 
 double SinglePoleFilter::alpha_for(double dt_ps) {
@@ -36,13 +41,7 @@ double SinglePoleFilter::alpha_for(double dt_ps) {
 
 void SinglePoleFilter::process_block(const double* in, double* out,
                                      std::size_t n, double dt_ps) {
-  const double alpha = alpha_for(dt_ps);
-  double y = y_;
-  for (std::size_t i = 0; i < n; ++i) {
-    y += alpha * (in[i] - y);
-    out[i] = y;
-  }
-  y_ = y;
+  backend::active().one_pole(in, out, n, alpha_for(dt_ps), st_);
 }
 
 SlewRateLimiter::SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps,
@@ -57,37 +56,28 @@ SlewRateLimiter::SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps,
 }
 
 double SlewRateLimiter::step(double vin, double dt_ps) {
-  if (first_) {
-    y_ = vin;
-    first_ = false;
-    return y_;
-  }
-  const double max_step = slew_ * dt_ps;
-  const double err = vin - y_;
-  double want = err;
-  if (tau_lin_ > 0.0)
-    want *= 1.0 - util::det_exp(-dt_ps / tau_lin_);  // linear settling region
-  double dy = std::clamp(want, -max_step, max_step);
-  if (leak_tau_ > 0.0)
-    dy += err * (1.0 - util::det_exp(-dt_ps / leak_tau_));  // output conductance
-  y_ += dy;
-  return y_;
+  // Same coefficient derivations as always (slew*dt, the det_exp
+  // settling/leak factors), hoisted through prime()'s dt-keyed cache and
+  // applied by the shared backend reference step — byte-identical to the
+  // historical inline arithmetic, term for term.
+  prime(dt_ps);
+  return backend::slew_step(blk_, st_, vin);
 }
 
 void SlewRateLimiter::prime(double dt_ps) {
   if (dt_ps == blk_dt_) return;
   blk_dt_ = dt_ps;
-  blk_max_step_ = slew_ * dt_ps;
-  blk_lin_ = tau_lin_ > 0.0 ? 1.0 - util::det_exp(-dt_ps / tau_lin_) : 1.0;
-  blk_leak_ = leak_tau_ > 0.0 ? 1.0 - util::det_exp(-dt_ps / leak_tau_) : 0.0;
+  blk_.max_step = slew_ * dt_ps;
+  blk_.has_lin = tau_lin_ > 0.0;
+  blk_.has_leak = leak_tau_ > 0.0;
+  blk_.lin = blk_.has_lin ? 1.0 - util::det_exp(-dt_ps / tau_lin_) : 1.0;
+  blk_.leak = blk_.has_leak ? 1.0 - util::det_exp(-dt_ps / leak_tau_) : 0.0;
 }
 
 void SlewRateLimiter::process_block(const double* in, double* out,
                                     std::size_t n, double dt_ps) {
   prime(dt_ps);
-  Primed p = primed();
-  for (std::size_t i = 0; i < n; ++i) out[i] = step_primed(p, in[i]);
-  commit(p);
+  backend::active().slew(in, out, n, blk_, st_);
 }
 
 TanhLimiter::TanhLimiter(double gain, double vsat_v)
@@ -102,16 +92,14 @@ double TanhLimiter::step(double vin, double /*dt_ps*/) {
 
 void TanhLimiter::process_block(const double* in, double* out, std::size_t n,
                                 double /*dt_ps*/) {
-  // Stateless; the override only exists to run elementwise without the
-  // per-sample virtual call. det_tanh is branch-free straight-line
-  // arithmetic, so this loop auto-vectorizes on bare SSE2.
-  for (std::size_t i = 0; i < n; ++i)
-    out[i] = vsat_ * util::det_tanh(gain_ * in[i] / vsat_);
+  // Stateless; the backend tanh_stage kernel is elementwise and (on
+  // every backend) bit-exact against the step() expression.
+  backend::active().tanh_stage(in, nullptr, out, n, gain_, vsat_, vsat_);
 }
 
 void GainStage::process_block(const double* in, double* out, std::size_t n,
                               double /*dt_ps*/) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = gain_ * in[i];
+  backend::active().scale(in, out, n, gain_);
 }
 
 NoiseAdder::NoiseAdder(double density_v_sqrtps, util::Rng rng)

@@ -17,15 +17,21 @@
 #include <vector>
 
 #include "analog/element.h"
+#include "backend/backend.h"
 #include "util/rng.h"
 
 namespace gdelay::analog {
 
 /// First-order low-pass, y' = 2*pi*f3dB (x - y).
+///
+/// Both paths run through the active compute backend's one_pole kernel
+/// (step() as an n == 1 call), so step-vs-block byte identity holds under
+/// every backend — including the AVX2 scan, whose group phase lives in
+/// the backend state POD and is carried across calls.
 class SinglePoleFilter final : public AnalogElement {
  public:
   explicit SinglePoleFilter(double f3db_ghz);
-  void reset() override { y_ = 0.0; }
+  void reset() override { st_ = {}; }
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
@@ -40,7 +46,7 @@ class SinglePoleFilter final : public AnalogElement {
   double alpha_for(double dt_ps);
 
   double f3db_;
-  double y_ = 0.0;
+  backend::OnePoleState st_;
   // dt-keyed coefficient cache for the block path; re-derived whenever a
   // block arrives with a different dt, so mixed-dt use stays correct.
   double blk_dt_ = 0.0;
@@ -62,7 +68,7 @@ class SlewRateLimiter final : public AnalogElement {
  public:
   explicit SlewRateLimiter(double slew_v_per_ps, double tau_lin_ps = 0.0,
                            double leak_tau_ps = 0.0);
-  void reset() override { y_ = 0.0; first_ = true; }
+  void reset() override { st_ = {}; }
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
@@ -73,62 +79,21 @@ class SlewRateLimiter final : public AnalogElement {
   double tau_lin_ps() const { return tau_lin_; }
   double leak_tau_ps() const { return leak_tau_; }
 
-  /// (Re)derives the dt-dependent coefficients for the block path.
+  /// (Re)derives the dt-dependent coefficients for the block path. The
+  /// coefficient and state PODs are the backend kernel types, so
+  /// composite elements (VariableGainBuffer's fused droop/slew tail) can
+  /// hand this limiter's recursion to a backend kernel directly.
   void prime(double dt_ps);
-
-  /// Snapshot of the primed coefficients plus the recursion state, held
-  /// by value. Block loops run the recursion on a local Primed and
-  /// commit() it back once at the end: the stores to the caller's
-  /// `out` array are doubles too, so if the loop touched members
-  /// directly the compiler would have to assume every out[i] store
-  /// might alias them and reload y_/coefficients each iteration.
-  /// Through a by-value snapshot everything lives in registers.
-  struct Primed {
-    double max_step;
-    double lin;
-    double leak;
-    double y;
-    bool first;
-    bool has_lin;
-    bool has_leak;
-  };
-  Primed primed() const {
-    return {blk_max_step_, blk_lin_, blk_leak_,
-            y_,            first_,   tau_lin_ > 0.0, leak_tau_ > 0.0};
-  }
-  void commit(const Primed& p) {
-    y_ = p.y;
-    first_ = p.first;
-  }
-  /// One step using the primed coefficients — byte-identical to
-  /// step(vin, primed dt). Static on a Primed snapshot so
-  /// VariableGainBuffer's fused block loop (slew output feeds the droop
-  /// state) shares this exact code while keeping the state enregistered.
-  static double step_primed(Primed& p, double vin) {
-    if (p.first) {
-      p.y = vin;
-      p.first = false;
-      return p.y;
-    }
-    const double err = vin - p.y;
-    double want = err;
-    if (p.has_lin) want *= p.lin;
-    double dy = std::clamp(want, -p.max_step, p.max_step);
-    if (p.has_leak) dy += err * p.leak;
-    p.y += dy;
-    return p.y;
-  }
+  const backend::SlewCoeffs& primed_coeffs() const { return blk_; }
+  backend::SlewState& state() { return st_; }
 
  private:
   double slew_;
   double tau_lin_;
   double leak_tau_;
-  double y_ = 0.0;
-  bool first_ = true;  // first sample snaps to the input (no startup ramp)
+  backend::SlewState st_;
   double blk_dt_ = 0.0;
-  double blk_max_step_ = 0.0;
-  double blk_lin_ = 1.0;
-  double blk_leak_ = 0.0;
+  backend::SlewCoeffs blk_;
 };
 
 /// y = vsat * tanh(gain * x / vsat): linear gain for small signals,

@@ -1,0 +1,126 @@
+// Backend selection: CPUID capability check + GDELAY_BACKEND override.
+//
+// Policy (DESIGN.md "Compute backends"):
+//   * Default is the scalar oracle. SIMD is an explicit opt-in because
+//     the one-pole scan trades cross-backend bit equality for speed, and
+//     reproducibility-by-default is this project's core contract.
+//   * The environment override resolves lazily on first active() call
+//     and NEVER throws: a misspelled or unsupported request falls back
+//     to scalar with the reason recorded (benches stamp it into the
+//     BENCH json, so a silent fallback is still a visible one).
+//   * Programmatic select() DOES throw on unknown/unusable names — a
+//     test or tool that asks for a backend by name wants that backend,
+//     not a lookalike.
+#include "backend/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace gdelay::backend {
+namespace {
+
+struct Resolution {
+  const Kernels* kernels;
+  const char* reason;
+};
+
+// Process-wide active-backend slot. Mutable namespace-scope state is
+// normally an R4 finding; this one is allowlisted (tools/audit options)
+// because it is a write-once-then-read dispatch cache guarded by
+// atomics: concurrent first readers race only to store the same value,
+// and select() is documented as not callable while worker threads are
+// inside process_block().
+std::atomic<const Kernels*> g_active{nullptr};
+std::atomic<const char*> g_reason{"unresolved"};
+
+Resolution resolve_from_env() {
+  // getenv is allowlisted for this file (audit R2): GDELAY_BACKEND is a
+  // reproducibility-neutral performance knob — both backends satisfy
+  // their own bit-stability contract — mirroring how util/thread_pool
+  // owns GDELAY_THREADS.
+  const char* env = std::getenv("GDELAY_BACKEND");
+  if (env == nullptr || *env == '\0')
+    return {&scalar_kernels(), "default: scalar oracle (GDELAY_BACKEND unset)"};
+  if (std::strcmp(env, "scalar") == 0)
+    return {&scalar_kernels(), "GDELAY_BACKEND=scalar"};
+  if (std::strcmp(env, "avx2") == 0) {
+    if (avx2_kernels() == nullptr)
+      return {&scalar_kernels(),
+              "GDELAY_BACKEND=avx2 but binary built without AVX2; scalar"};
+    if (!cpu_supports_avx2())
+      return {&scalar_kernels(),
+              "GDELAY_BACKEND=avx2 but CPU lacks AVX2+FMA; scalar"};
+    return {avx2_kernels(), "GDELAY_BACKEND=avx2"};
+  }
+  if (std::strcmp(env, "auto") == 0) {
+    if (avx2_kernels() != nullptr && cpu_supports_avx2())
+      return {avx2_kernels(), "GDELAY_BACKEND=auto: CPU supports AVX2+FMA"};
+    return {&scalar_kernels(), "GDELAY_BACKEND=auto: AVX2 unavailable; scalar"};
+  }
+  return {&scalar_kernels(), "GDELAY_BACKEND unrecognized; scalar"};
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const Kernels& active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    const Resolution r = resolve_from_env();
+    // First resolver wins; every concurrent racer computes the same
+    // Resolution (environment and CPUID are stable), so the exchange
+    // order is unobservable.
+    const Kernels* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, r.kernels,
+                                         std::memory_order_acq_rel)) {
+      g_reason.store(r.reason, std::memory_order_release);
+      k = r.kernels;
+    } else {
+      k = expected;
+    }
+  }
+  return *k;
+}
+
+void select(const char* name) {
+  if (name == nullptr) throw std::invalid_argument("backend: null name");
+  Resolution r{nullptr, nullptr};
+  if (std::strcmp(name, "scalar") == 0) {
+    r = {&scalar_kernels(), "select(scalar)"};
+  } else if (std::strcmp(name, "avx2") == 0) {
+    if (avx2_kernels() == nullptr)
+      throw std::runtime_error("backend: binary built without AVX2 support");
+    if (!cpu_supports_avx2())
+      throw std::runtime_error("backend: CPU does not support AVX2+FMA");
+    r = {avx2_kernels(), "select(avx2)"};
+  } else if (std::strcmp(name, "auto") == 0) {
+    r = (avx2_kernels() != nullptr && cpu_supports_avx2())
+            ? Resolution{avx2_kernels(), "select(auto): CPU supports AVX2+FMA"}
+            : Resolution{&scalar_kernels(),
+                         "select(auto): AVX2 unavailable; scalar"};
+  } else {
+    throw std::invalid_argument(std::string("backend: unknown name '") +
+                                name + "'");
+  }
+  g_active.store(r.kernels, std::memory_order_release);
+  g_reason.store(r.reason, std::memory_order_release);
+}
+
+const char* dispatch_reason() {
+  // Make sure lazy resolution has happened so the reason is meaningful.
+  (void)active();
+  return g_reason.load(std::memory_order_acquire);
+}
+
+}  // namespace gdelay::backend

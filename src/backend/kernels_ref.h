@@ -1,0 +1,30 @@
+// Internal: the scalar reference kernel functions, with linkage, so the
+// AVX2 table can point at them for the kernels that stay serial (the
+// slew and VGA-tail recursions have loop-carried nonlinear dependencies
+// with no profitable 4-lane formulation — sharing the scalar definition,
+// compiled WITHOUT -mavx2, keeps them trivially bit-identical across
+// backends). Not part of the public backend API; include backend.h.
+#pragma once
+
+#include <cstddef>
+
+#include "backend/backend.h"
+
+namespace gdelay::backend::ref {
+
+void scale(const double* x, double* out, std::size_t n, double g);
+void tanh_stage(const double* x, const double* add, double* out,
+                std::size_t n, double gain, double ref, double post);
+void exp_block(const double* x, double* out, std::size_t n);
+void sincos2pi_block(const double* u, double* out_sin, double* out_cos,
+                     std::size_t n);
+void box_muller(const double* u1, const double* u2, double* out_cos,
+                double* out_sin, std::size_t n);
+void one_pole(const double* x, double* out, std::size_t n, double alpha,
+              OnePoleState& st);
+void slew(const double* x, double* out, std::size_t n, const SlewCoeffs& c,
+          SlewState& st);
+void vga_tail(const double* lim, double* out, std::size_t n,
+              const VgaTailCoeffs& c, SlewState& slew_st, VgaTailState& d);
+
+}  // namespace gdelay::backend::ref

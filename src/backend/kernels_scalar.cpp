@@ -1,0 +1,105 @@
+// Scalar reference backend: the byte-identity oracle.
+//
+// Every kernel is a plain loop over the inline reference steps from
+// backend.h (or the det_* functions directly), i.e. exactly the
+// arithmetic the per-sample step() paths perform — in the same order,
+// with the same associativity. This file is compiled with the project's
+// default flags only (no -mavx2), and the global -ffp-contract=off keeps
+// the compiler from fusing any multiply-add, so the oracle's bit
+// patterns are the portable IEEE-754 ones regardless of the toolchain's
+// vectorizer mood.
+#include "backend/kernels_ref.h"
+
+#include "util/fastmath.h"
+
+namespace gdelay::backend {
+namespace ref {
+
+void scale(const double* x, double* out, std::size_t n, double g) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = g * x[i];
+}
+
+void tanh_stage(const double* x, const double* add, double* out,
+                std::size_t n, double gain, double ref, double post) {
+  // Split on `add` outside the loop; the expression shape matches every
+  // call site: TanhLimiter's vsat*det_tanh(gain*v/vsat), the buffers'
+  // post*det_tanh(output_gain*(x+noise)/output_ref).
+  if (add != nullptr) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = post * util::det_tanh(gain * (x[i] + add[i]) / ref);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = post * util::det_tanh(gain * x[i] / ref);
+  }
+}
+
+void exp_block(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = util::det_exp(x[i]);
+}
+
+void sincos2pi_block(const double* u, double* out_sin, double* out_cos,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    util::det_sincos2pi(u[i], out_sin[i], out_cos[i]);
+}
+
+void box_muller(const double* u1, const double* u2, double* out_cos,
+                double* out_sin, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    box_muller_step(u1[i], u2[i], out_cos[i], out_sin[i]);
+}
+
+void one_pole(const double* x, double* out, std::size_t n, double alpha,
+              OnePoleState& st) {
+  // The serial recursion, enregistered. Only `y` is live for the scalar
+  // backend; the AVX2 scan context in `st` stays untouched (it is
+  // re-anchored by the AVX2 kernel itself on alpha change).
+  double y = st.y;
+  for (std::size_t i = 0; i < n; ++i) {
+    y += alpha * (x[i] - y);
+    out[i] = y;
+  }
+  st.y = y;
+}
+
+void slew(const double* x, double* out, std::size_t n, const SlewCoeffs& c,
+          SlewState& st) {
+  SlewState s = st;
+  for (std::size_t i = 0; i < n; ++i) out[i] = slew_step(c, s, x[i]);
+  st = s;
+}
+
+void vga_tail(const double* lim, double* out, std::size_t n,
+              const VgaTailCoeffs& c, SlewState& slew_st, VgaTailState& d) {
+  SlewState s = slew_st;
+  VgaTailState dd = d;
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = vga_tail_step(c, s, dd, lim[i]);
+  slew_st = s;
+  d = dd;
+}
+
+}  // namespace ref
+
+namespace {
+
+const Kernels kScalar = {
+    /*name=*/"scalar",
+    /*isa=*/"generic",
+    /*lanes=*/1,
+    /*bit_exact=*/true,
+    ref::scale,
+    ref::tanh_stage,
+    ref::exp_block,
+    ref::sincos2pi_block,
+    ref::box_muller,
+    ref::one_pole,
+    ref::slew,
+    ref::vga_tail,
+};
+
+}  // namespace
+
+const Kernels& scalar_kernels() { return kScalar; }
+
+}  // namespace gdelay::backend

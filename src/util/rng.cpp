@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "backend/backend.h"
 #include "util/fastmath.h"
 #include "util/units.h"
 
@@ -19,27 +20,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
-}
-
-// One Box-Muller pair from two uniforms: cos branch first, sin branch
-// second — the draw order the public API has always exposed. The log
-// and the sin/cos pair are the deterministic branch-free kernels from
-// util/fastmath.h (not libm), so the draw sequence no longer depends on
-// the host libc and — critically — the transform is straight-line
-// arithmetic that auto-vectorizes when fill_gaussian() evaluates it
-// over a whole chunk of pairs. u1 is in (0, 1] (normal, never zero or
-// denormal), inside det_log's domain; u2 is in [0, 1), det_sincos2pi's
-// domain. std::sqrt is correctly rounded everywhere, so it keeps the
-// determinism guarantee. gaussian() and fill_gaussian() both route
-// through here, which is what keeps the scalar and batched paths
-// byte-identical by construction.
-inline void box_muller(double u1, double u2, double& out_cos,
-                       double& out_sin) {
-  const double r = std::sqrt(-2.0 * det_log(u1));
-  double s, c;
-  det_sincos2pi(u2, s, c);
-  out_cos = r * c;
-  out_sin = r * s;
 }
 
 }  // namespace
@@ -77,11 +57,18 @@ double Rng::gaussian() {
     cached_gaussian_.reset();
     return v;
   }
-  // Box-Muller; u1 in (0, 1] to keep the log finite.
+  // Box-Muller, cos branch first then sin — the draw order the public
+  // API has always exposed. The reference step lives in the compute
+  // backend (branch-free det_log/det_sincos2pi plus a correctly-rounded
+  // sqrt, no libm transcendentals), and both this scalar path and
+  // fill_gaussian()'s batched kernel share its exact arithmetic, so the
+  // sequence of doubles is identical however it is drawn. u1 is in
+  // (0, 1] (normal, never zero or denormal), inside det_log's domain;
+  // u2 is in [0, 1), det_sincos2pi's domain.
   const double u1 = 1.0 - uniform();
   const double u2 = uniform();
   double c, s;
-  box_muller(u1, u2, c, s);
+  backend::box_muller_step(u1, u2, c, s);
   cached_gaussian_ = s;
   return c;
 }
@@ -102,10 +89,11 @@ void Rng::fill_gaussian(double* out, std::size_t n, double mean,
   }
   // Pairs are processed in chunks: the uniforms are drawn serially (the
   // xoshiro recurrence is inherently sequential, but cheap), then the
-  // Box-Muller transform — the expensive part — runs as an elementwise
-  // loop over the chunk that the compiler vectorizes. Per-lane packed
-  // arithmetic is IEEE-identical to scalar, so the outputs match the
-  // one-pair-at-a-time path bit for bit.
+  // Box-Muller transform — the expensive part — runs through the active
+  // compute backend's batched kernel. The kernel is bit-exact against
+  // box_muller_step on every backend (the AVX2 lanes perform the
+  // identical correctly-rounded operation sequence), so the outputs
+  // match the one-pair-at-a-time path bit for bit.
   constexpr std::size_t kChunkPairs = 128;
   while (i + 1 < n) {
     double u1[kChunkPairs], u2[kChunkPairs];
@@ -115,8 +103,7 @@ void Rng::fill_gaussian(double* out, std::size_t n, double mean,
       u1[k] = 1.0 - uniform();
       u2[k] = uniform();
     }
-    for (std::size_t k = 0; k < pairs; ++k)
-      box_muller(u1[k], u2[k], cs[k], sn[k]);
+    backend::active().box_muller(u1, u2, cs, sn, pairs);
     for (std::size_t k = 0; k < pairs; ++k) {
       out[i + 2 * k] = mean + sigma * cs[k];
       out[i + 2 * k + 1] = mean + sigma * sn[k];
@@ -127,7 +114,7 @@ void Rng::fill_gaussian(double* out, std::size_t n, double mean,
     const double u1 = 1.0 - uniform();
     const double u2 = uniform();
     double c, s;
-    box_muller(u1, u2, c, s);
+    backend::box_muller_step(u1, u2, c, s);
     cached_gaussian_ = s;
     out[i] = mean + sigma * c;
   }

@@ -1,5 +1,5 @@
 // Unit coverage for the gdelay-audit rule engine (tools/audit). Each rule
-// R1-R6 gets a violating, a clean, and a waived case; the final test
+// R1-R7 gets a violating, a clean, and a waived case; the final test
 // self-scans the live src/ tree and asserts it is clean, which is the
 // same check `ctest -R Audit` and the CI gate run via the CLI.
 #include <algorithm>
@@ -104,9 +104,12 @@ TEST(AuditR2, CleanOnSeededRng) {
   EXPECT_TRUE(fs.empty()) << render(fs);
 }
 
-TEST(AuditR2, GetenvAllowedOnlyInThreadPool) {
+TEST(AuditR2, GetenvAllowedOnlyInDesignatedOwners) {
+  // thread_pool owns GDELAY_THREADS, backend/dispatch owns GDELAY_BACKEND;
+  // everything else must take configuration explicitly.
   const std::string src = "const char* f() { return std::getenv(\"X\"); }";
   EXPECT_TRUE(scan_source("util/thread_pool.cpp", src).empty());
+  EXPECT_TRUE(scan_source("backend/dispatch.cpp", src).empty());
   auto fs = scan_source("core/x.cpp", src);
   ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"}) << render(fs);
 }
@@ -314,6 +317,58 @@ TEST(AuditR6, InlineWaiverSilencesWithReason) {
       "  // gdelay-audit: allow(R6) pruned window, O(transition) bounded\n"
       "  hist_.push_back(s[0]);\n"
       "}\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+// --------------------------------------------------------------------------
+// R7 — SIMD intrinsics only inside the compute backend
+// --------------------------------------------------------------------------
+
+TEST(AuditR7, FlagsIntrinsicHeaderInclude) {
+  // The lexer strips preprocessor directives, so this exercises the raw
+  // line scan, not the token scan.
+  auto fs = scan_source("analog/x.cpp",
+                        "#include <immintrin.h>\n"
+                        "double f(double v) { return v; }\n");
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R7"}) << render(fs);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("immintrin.h"), std::string::npos);
+}
+
+TEST(AuditR7, FlagsIntrinsicIdentifiersAndTypes) {
+  auto fs = scan_source("signal/x.cpp",
+                        "double f(const double* p) {\n"
+                        "  __m256d v = _mm256_loadu_pd(p);\n"
+                        "  return _mm256_cvtsd_f64(v);\n"
+                        "}\n");
+  ASSERT_EQ(rules_of(fs), (std::vector<std::string>{"R7", "R7", "R7"}))
+      << render(fs);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(AuditR7, BackendDirectoryIsExempt) {
+  const char* src =
+      "#include <immintrin.h>\n"
+      "__m256d dbl(__m256d v) { return _mm256_add_pd(v, v); }\n";
+  EXPECT_TRUE(scan_source("backend/kernels_avx2.cpp", src).empty());
+  EXPECT_TRUE(scan_source("src/backend/kernels_avx2.cpp", src).empty());
+  auto fs = scan_source("util/x.cpp", src);
+  EXPECT_FALSE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR7, CleanOnOrdinaryIdentifiers) {
+  // Identifiers that merely contain "mm" or "m256" as a substring (not a
+  // prefix) must not trip the scan.
+  auto fs = scan_source("core/x.cpp",
+                        "double comm_m256(double hmm) { return hmm; }\n");
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR7, InlineWaiverSilencesWithReason) {
+  auto fs = scan_source(
+      "util/x.cpp",
+      "// gdelay-audit: allow(R7) prefetch hint only, no packed arithmetic\n"
+      "void warm(const double* p) { _mm_prefetch((const char*)p, 3); }\n");
   EXPECT_TRUE(fs.empty()) << render(fs);
 }
 

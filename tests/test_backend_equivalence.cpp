@@ -1,0 +1,520 @@
+// Backend-equivalence suite: the pluggable compute backend's contract,
+// enforced (see src/backend/backend.h and DESIGN.md "Compute backends").
+//
+// Three layers of checks:
+//
+//   1. Kernel pins. The elementwise kernels (scale, tanh_stage, exp,
+//      sincos2pi, Box-Muller) must be BIT-EXACT against the scalar
+//      det_* oracle on every backend — 0 ULP, over domain sweeps that
+//      cover saturation boundaries, signed zero and vector tails.
+//   2. The step-vs-block-vs-SIMD triangle. For every element: under a
+//      fixed backend, n step() calls, one block call, and any chunked
+//      partition of block calls (sizes 1, 7, 64, 1024, 4096) must agree
+//      byte for byte — including the AVX2 one-pole scan, whose group
+//      phase is carried in OnePoleState. Across backends, elementwise
+//      elements agree bitwise; recursive elements agree within the
+//      documented amplitude-relative envelope of the reassociated scan.
+//   3. Threaded sweeps. Per backend, a parallel calibration run is
+//      bit-identical at 1 and 4 threads (CI additionally re-runs the
+//      whole suite under GDELAY_THREADS=4).
+//
+// AVX2 cases skip (not fail) on machines without AVX2+FMA, so the suite
+// is portable; the CI simd job guarantees they actually run somewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analog/buffer.h"
+#include "analog/coupling.h"
+#include "analog/primitives.h"
+#include "backend/backend.h"
+#include "core/channel.h"
+#include "core/calibration.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/fastmath.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ga = gdelay::analog;
+namespace gb = gdelay::backend;
+namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
+namespace gu = gdelay::util;
+using gdelay::util::Rng;
+
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+bool avx2_usable() {
+  return gb::avx2_kernels() != nullptr && gb::cpu_supports_avx2();
+}
+
+// Selects a backend for the scope and restores the previous one, so
+// tests compose regardless of the GDELAY_BACKEND the suite ran under.
+struct BackendSelect {
+  std::string prev;
+  explicit BackendSelect(const char* name) : prev(gb::active().name) {
+    gb::select(name);
+  }
+  ~BackendSelect() { gb::select(prev.c_str()); }
+};
+
+// The ISSUE-mandated partition sizes: scalar-tail-only, odd mid-group,
+// exact multiples of the lane group, and larger-than-cache blocks.
+constexpr std::size_t kChunks[] = {1, 7, 64, 1024, 4096};
+
+// Stimulus with both smooth and switching content (limiters saturate,
+// slew limiters rail) plus segment lengths coprime to every chunk size.
+std::vector<double> stimulus(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    v[i] = 0.35 * std::sin(0.07 * t) + 0.15 * std::sin(0.011 * t + 0.5) +
+           ((i / 37) % 2 ? 0.2 : -0.2);
+  }
+  return v;
+}
+
+struct Segment {
+  std::size_t n;
+  double dt;
+};
+
+// Mid-run dt changes in both directions; lengths chosen so 4096-chunks
+// still split every segment and 1-chunks cross group phases everywhere.
+const std::vector<Segment> kSegments{{4099, 0.25}, {2048, 0.4}, {1021, 0.25}};
+
+std::size_t total_samples() {
+  std::size_t t = 0;
+  for (const auto& s : kSegments) t += s.n;
+  return t;
+}
+
+// Runs `e` per-sample over the stimulus/dt schedule.
+template <typename E>
+std::vector<double> run_step(E& e) {
+  const auto in = stimulus(total_samples());
+  std::vector<double> out(in.size());
+  std::size_t off = 0;
+  for (const auto& s : kSegments) {
+    for (std::size_t i = 0; i < s.n; ++i)
+      out[off + i] = e.step(in[off + i], s.dt);
+    off += s.n;
+  }
+  return out;
+}
+
+// Runs `e` through process_block() in `chunk`-sized calls.
+template <typename E>
+std::vector<double> run_block(E& e, std::size_t chunk) {
+  const auto in = stimulus(total_samples());
+  std::vector<double> out(in.size(), -1.0);
+  std::size_t off = 0;
+  for (const auto& s : kSegments) {
+    for (std::size_t o = 0; o < s.n; o += chunk)
+      e.process_block(in.data() + off + o, out.data() + off + o,
+                      std::min(chunk, s.n - o), s.dt);
+    off += s.n;
+  }
+  return out;
+}
+
+// The triangle under one backend: step path vs every chunked partition,
+// byte for byte. Fresh twins per partition (elements are stateful).
+template <typename MakeFn>
+void expect_triangle(const char* backend, MakeFn make) {
+  BackendSelect sel(backend);
+  auto ref = make();
+  const auto want = run_step(ref);
+  for (std::size_t chunk : kChunks) {
+    auto blk = make();
+    const auto got = run_block(blk, chunk);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(bits(want[i]), bits(got[i]))
+          << backend << " chunk " << chunk << " sample " << i << ": step="
+          << want[i] << " block=" << got[i];
+  }
+}
+
+// Cross-backend comparison of the block path (chunk 1024).
+// `bit_identical` demands byte equality (purely elementwise elements);
+// otherwise the documented scan envelope applies: an ABSOLUTE bound,
+// because near the waveform's zero crossings an epsilon-of-amplitude
+// divergence is a huge number of ULP of the (tiny) output value.
+template <typename MakeFn>
+void expect_cross_backend(MakeFn make, bool bit_identical, double max_abs) {
+  if (!avx2_usable()) GTEST_SKIP() << "AVX2 backend not usable here";
+  std::vector<double> scalar_out, avx2_out;
+  {
+    BackendSelect sel("scalar");
+    auto e = make();
+    scalar_out = run_block(e, 1024);
+  }
+  {
+    BackendSelect sel("avx2");
+    auto e = make();
+    avx2_out = run_block(e, 1024);
+  }
+  for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+    const double a = scalar_out[i], b = avx2_out[i];
+    if (bits(a) == bits(b)) continue;
+    ASSERT_FALSE(bit_identical)
+        << "sample " << i << ": scalar=" << a << " avx2=" << b;
+    ASSERT_LE(std::abs(a - b), max_abs)
+        << "sample " << i << ": scalar=" << a << " avx2=" << b;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(BackendDispatch, ScalarTableIsAlwaysAvailableAndSelectable) {
+  const gb::Kernels& s = gb::scalar_kernels();
+  EXPECT_STREQ(s.name, "scalar");
+  EXPECT_EQ(s.lanes, 1);
+  EXPECT_TRUE(s.bit_exact);
+  BackendSelect sel("scalar");
+  EXPECT_STREQ(gb::active().name, "scalar");
+  EXPECT_NE(gb::dispatch_reason(), nullptr);
+}
+
+TEST(BackendDispatch, UnknownNameThrowsAndLeavesSelectionIntact) {
+  BackendSelect sel("scalar");
+  EXPECT_THROW(gb::select("sse9"), std::invalid_argument);
+  EXPECT_STREQ(gb::active().name, "scalar");
+}
+
+TEST(BackendDispatch, AutoPicksSomethingUsable) {
+  BackendSelect sel("auto");
+  const std::string name = gb::active().name;
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << name;
+  if (avx2_usable()) {
+    EXPECT_EQ(name, "avx2");
+  }
+}
+
+TEST(BackendDispatch, Avx2SelectionMatchesProbes) {
+  if (!avx2_usable()) {
+    EXPECT_THROW(gb::select("avx2"), std::runtime_error);
+    GTEST_SKIP() << "AVX2 backend not usable here";
+  }
+  BackendSelect sel("avx2");
+  const gb::Kernels& k = gb::active();
+  EXPECT_STREQ(k.name, "avx2");
+  EXPECT_EQ(k.lanes, 4);
+  EXPECT_FALSE(k.bit_exact);  // the one-pole scan is contract-covered
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pins: elementwise kernels bit-exact on every backend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Domain sweep with saturation boundaries, signed zero, huge and tiny
+// magnitudes, at a length (1027) that exercises vector body + tail.
+std::vector<double> kernel_sweep() {
+  std::vector<double> v;
+  for (int i = -500; i <= 500; ++i) v.push_back(0.05 * i);  // [-25, 25]
+  v.push_back(0.0);
+  v.push_back(-0.0);
+  v.push_back(1e-300);
+  v.push_back(-1e-300);
+  v.push_back(1e300);
+  v.push_back(-1e300);
+  v.push_back(708.0);
+  v.push_back(-708.0);
+  v.push_back(709.5);
+  v.push_back(-709.5);
+  while (v.size() < 1027) v.push_back(0.013 * static_cast<double>(v.size()));
+  return v;
+}
+
+void pin_elementwise(const gb::Kernels& k) {
+  const auto x = kernel_sweep();
+  const std::size_t n = x.size();
+  std::vector<double> out(n, -1.0);
+
+  k.scale(x.data(), out.data(), n, 1.7);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(bits(out[i]), bits(1.7 * x[i])) << k.name << " scale " << i;
+
+  k.tanh_stage(x.data(), nullptr, out.data(), n, 2.0, 0.4, 0.35);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(bits(out[i]), bits(0.35 * gu::det_tanh(2.0 * x[i] / 0.4)))
+        << k.name << " tanh_stage " << i << " x=" << x[i];
+
+  // The add-array variant (noise injection before the limiter).
+  std::vector<double> add(n);
+  for (std::size_t i = 0; i < n; ++i) add[i] = 0.01 * std::sin(0.3 * i);
+  k.tanh_stage(x.data(), add.data(), out.data(), n, 2.0, 0.4, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(bits(out[i]),
+              bits(1.0 * gu::det_tanh(2.0 * (x[i] + add[i]) / 0.4)))
+        << k.name << " tanh_stage+add " << i;
+
+  k.exp_block(x.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(bits(out[i]), bits(gu::det_exp(x[i])))
+        << k.name << " exp " << i << " x=" << x[i];
+
+  // sincos2pi and Box-Muller take uniforms in [0, 1) / (0, 1].
+  std::vector<double> u1(n), u2(n), os(n, -1.0), oc(n, -1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    u2[i] = static_cast<double>(i) / static_cast<double>(n);
+    u1[i] = 1.0 - u2[i];
+  }
+  u1[5] = 0x1.0p-53;  // smallest uniform the RNG produces
+  k.sincos2pi_block(u2.data(), os.data(), oc.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s, c;
+    gu::det_sincos2pi(u2[i], s, c);
+    ASSERT_EQ(bits(os[i]), bits(s)) << k.name << " sin " << i;
+    ASSERT_EQ(bits(oc[i]), bits(c)) << k.name << " cos " << i;
+  }
+  k.box_muller(u1.data(), u2.data(), oc.data(), os.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double c, s;
+    gb::box_muller_step(u1[i], u2[i], c, s);
+    ASSERT_EQ(bits(oc[i]), bits(c)) << k.name << " box_muller cos " << i;
+    ASSERT_EQ(bits(os[i]), bits(s)) << k.name << " box_muller sin " << i;
+  }
+
+  // Odd lengths so every tail-length path of the vector kernels runs.
+  for (std::size_t len : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                          std::size_t{4}, std::size_t{5}, std::size_t{7}}) {
+    k.tanh_stage(x.data(), nullptr, out.data(), len, 3.0, 0.2, 0.4);
+    for (std::size_t i = 0; i < len; ++i)
+      ASSERT_EQ(bits(out[i]), bits(0.4 * gu::det_tanh(3.0 * x[i] / 0.2)))
+          << k.name << " tanh_stage len=" << len << " " << i;
+  }
+}
+
+}  // namespace
+
+TEST(BackendKernels, ScalarElementwiseMatchesOracle) {
+  pin_elementwise(gb::scalar_kernels());
+}
+
+TEST(BackendKernels, Avx2ElementwiseIsBitExact) {
+  if (!avx2_usable()) GTEST_SKIP() << "AVX2 backend not usable here";
+  pin_elementwise(*gb::avx2_kernels());
+}
+
+TEST(BackendKernels, OnePolePartitionInvariancePerBackend) {
+  // Any split of the sample stream into kernel calls yields identical
+  // bytes — the AVX2 scan carries its group phase in OnePoleState.
+  const auto x = stimulus(4099);
+  std::vector<const gb::Kernels*> tables{&gb::scalar_kernels()};
+  if (avx2_usable()) tables.push_back(gb::avx2_kernels());
+  for (const gb::Kernels* k : tables) {
+    gb::OnePoleState whole{};
+    std::vector<double> want(x.size(), -1.0);
+    k->one_pole(x.data(), want.data(), x.size(), 0.17, whole);
+    for (std::size_t chunk : kChunks) {
+      gb::OnePoleState st{};
+      std::vector<double> got(x.size(), -1.0);
+      for (std::size_t o = 0; o < x.size(); o += chunk)
+        k->one_pole(x.data() + o, got.data() + o,
+                    std::min(chunk, x.size() - o), 0.17, st);
+      for (std::size_t i = 0; i < x.size(); ++i)
+        ASSERT_EQ(bits(want[i]), bits(got[i]))
+            << k->name << " chunk " << chunk << " sample " << i;
+      ASSERT_EQ(bits(st.y), bits(whole.y)) << k->name << " final state";
+    }
+  }
+}
+
+TEST(BackendKernels, OnePoleCrossBackendAmplitudeEnvelope) {
+  // The AVX2 group-of-4 scan reassociates the recursion; the contract
+  // bounds the divergence from the serial oracle to a few machine
+  // epsilons of the SIGNAL AMPLITUDE (not ULP of the output — near zero
+  // crossings the output is tiny and its ULP is meaningless). Pinned at
+  // 16 eps * max|y|; measured worst across alphas is ~1.4 eps.
+  if (!avx2_usable()) GTEST_SKIP() << "AVX2 backend not usable here";
+  const auto x = stimulus(4099);
+  constexpr double kEps = 2.220446049250313e-16;
+  for (double alpha : {0.02, 0.17, 0.6, 0.95}) {
+    gb::OnePoleState ss{}, sv{};
+    std::vector<double> a(x.size()), b(x.size());
+    gb::scalar_kernels().one_pole(x.data(), a.data(), x.size(), alpha, ss);
+    gb::avx2_kernels()->one_pole(x.data(), b.data(), x.size(), alpha, sv);
+    double amp = 0.0, worst = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      amp = std::max(amp, std::abs(a[i]));
+      worst = std::max(worst, std::abs(a[i] - b[i]));
+    }
+    EXPECT_LE(worst, 16.0 * kEps * amp) << "alpha " << alpha;
+  }
+}
+
+TEST(BackendKernels, OnePoleAlphaChangeReanchorsDeterministically) {
+  // A dt (alpha) change mid-stream re-anchors the AVX2 group; both the
+  // one-call-per-alpha and the sample-at-a-time partitions must agree.
+  std::vector<const gb::Kernels*> tables{&gb::scalar_kernels()};
+  if (avx2_usable()) tables.push_back(gb::avx2_kernels());
+  const auto x = stimulus(601);
+  for (const gb::Kernels* k : tables) {
+    gb::OnePoleState s1{}, s2{};
+    std::vector<double> a(x.size()), b(x.size());
+    k->one_pole(x.data(), a.data(), 301, 0.17, s1);
+    k->one_pole(x.data() + 301, a.data() + 301, 300, 0.42, s1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      k->one_pole(x.data() + i, b.data() + i, 1, i < 301 ? 0.17 : 0.42, s2);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      ASSERT_EQ(bits(a[i]), bits(b[i])) << k->name << " sample " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The triangle, per element
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename MakeFn>
+void triangle_all_backends(MakeFn make) {
+  expect_triangle("scalar", make);
+  if (::testing::Test::HasFatalFailure()) return;
+  if (avx2_usable()) expect_triangle("avx2", make);
+}
+
+}  // namespace
+
+TEST(BackendTriangle, SinglePoleFilter) {
+  triangle_all_backends([] { return ga::SinglePoleFilter(6.5); });
+}
+
+TEST(BackendTriangle, TanhLimiter) {
+  triangle_all_backends([] { return ga::TanhLimiter(3.0, 0.4); });
+}
+
+TEST(BackendTriangle, GainStage) {
+  triangle_all_backends([] { return ga::GainStage(1.7); });
+}
+
+TEST(BackendTriangle, Attenuator) {
+  triangle_all_backends([] { return ga::Attenuator(2.5); });
+}
+
+TEST(BackendTriangle, SlewRateLimiter) {
+  triangle_all_backends([] { return ga::SlewRateLimiter(0.004, 20.0, 300.0); });
+}
+
+TEST(BackendTriangle, NoiseAdder) {
+  triangle_all_backends([] { return ga::NoiseAdder(0.02, Rng(42)); });
+}
+
+TEST(BackendTriangle, VariableGainBuffer) {
+  triangle_all_backends([] {
+    ga::VgaBufferConfig cfg;
+    auto vga = ga::VariableGainBuffer(cfg, Rng(7));
+    vga.set_vctrl(0.9);
+    return vga;
+  });
+}
+
+TEST(BackendTriangle, LimitingBuffer) {
+  triangle_all_backends(
+      [] { return ga::LimitingBuffer(ga::LimitingBufferConfig{}, Rng(11)); });
+}
+
+TEST(BackendTriangle, VariableDelayChannel) {
+  triangle_all_backends([] {
+    auto ch = gc::VariableDelayChannel(gc::ChannelConfig::prototype(), Rng(99));
+    ch.select_tap(1);
+    ch.set_vctrl(1.1);
+    return ch;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend agreement
+// ---------------------------------------------------------------------------
+
+TEST(BackendCross, ElementwiseElementsAreBitIdentical) {
+  // No recursion anywhere in these — the AVX2 path must reproduce the
+  // scalar bytes exactly.
+  expect_cross_backend([] { return ga::TanhLimiter(3.0, 0.4); }, true, 0.0);
+  expect_cross_backend([] { return ga::GainStage(1.7); }, true, 0.0);
+  expect_cross_backend([] { return ga::Attenuator(2.5); }, true, 0.0);
+}
+
+TEST(BackendCross, RecursiveElementsStayInsideScanEnvelope) {
+  // One-pole content: the scan's reassociated rounding stays within a
+  // few epsilons of the signal amplitude (~0.7 V here), far under 1e-12.
+  expect_cross_backend([] { return ga::SinglePoleFilter(6.5); }, false, 1e-12);
+  expect_cross_backend([] { return ga::NoiseAdder(0.02, Rng(42)); }, false,
+                       1e-12);
+}
+
+TEST(BackendCross, CompositesStayClose) {
+  // Through limiters, slew clamps and droop feedback the ULP framing
+  // stops being meaningful (a clamp can flip on a 1-ULP input change);
+  // the contract is absolute closeness of the waveform.
+  if (!avx2_usable()) GTEST_SKIP() << "AVX2 backend not usable here";
+  auto make = [] {
+    ga::VgaBufferConfig cfg;
+    auto vga = ga::VariableGainBuffer(cfg, Rng(7));
+    vga.set_vctrl(0.9);
+    return vga;
+  };
+  std::vector<double> a, b;
+  {
+    BackendSelect sel("scalar");
+    auto e = make();
+    a = run_block(e, 1024);
+  }
+  {
+    BackendSelect sel("avx2");
+    auto e = make();
+    b = run_block(e, 1024);
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  EXPECT_LT(worst, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Threaded sweeps per backend
+// ---------------------------------------------------------------------------
+
+TEST(BackendThreads, CalibrationBitIdenticalAcrossThreadCountsPerBackend) {
+  gs::SynthConfig sc;
+  sc.rate_gbps = 3.2;
+  const auto stim = gs::synthesize_nrz(gs::prbs(7, 32), sc);
+  gc::DelayCalibrator::Options o;
+  o.n_vctrl_points = 3;
+
+  std::vector<std::string> names{"scalar"};
+  if (avx2_usable()) names.push_back("avx2");
+  for (const auto& name : names) {
+    BackendSelect sel(name.c_str());
+    gc::FineDelayLine line(gc::FineDelayConfig{}, Rng(7));
+    const gc::DelayCalibrator cal(o);
+    gu::set_thread_count(1);
+    const auto serial = cal.measure_fine_curve(line, stim.wf);
+    gu::set_thread_count(4);
+    const auto parallel = cal.measure_fine_curve(line, stim.wf);
+    gu::set_thread_count(1);
+    ASSERT_EQ(serial.xs().size(), parallel.xs().size()) << name;
+    for (std::size_t i = 0; i < serial.xs().size(); ++i) {
+      ASSERT_EQ(bits(serial.xs()[i]), bits(parallel.xs()[i])) << name;
+      ASSERT_EQ(bits(serial.ys()[i]), bits(parallel.ys()[i])) << name;
+    }
+  }
+}

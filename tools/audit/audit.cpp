@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -371,10 +372,72 @@ void scan_r2(const std::string& label, const Lexed& lx, const Options& opt,
     std::string msg =
         "call to '" + t + "(' makes output depend on ambient state";
     if (t == "getenv")
-      msg += "; environment reads are confined to util/thread_pool";
+      msg +=
+          "; environment reads are confined to the allowlisted owners "
+          "(util/thread_pool, backend/dispatch)";
     else
       msg += "; derive values from util::Rng or explicit configuration";
     out.push_back({label, toks[i].line, "R2", std::move(msg)});
+  }
+}
+
+// R7: SIMD intrinsics only inside the compute-backend boundary. The
+// backend tables are the one place packed arithmetic is declared either
+// bit-exact or contract-covered; an intrinsic anywhere else forks the
+// determinism contract invisibly. Detection is two-pronged because lex()
+// strips preprocessor directives from the token stream: intrinsic-header
+// includes are found by a raw-content line scan, intrinsic identifiers
+// (_mm*, __m128/__m256/__m512 and variants) by a token scan.
+void scan_r7(const std::string& label, const std::string& content,
+             const Lexed& lx, const Options& opt, std::vector<Finding>& out) {
+  const std::string& pre = opt.simd_prefix;
+  if (!pre.empty() &&
+      (label.rfind(pre, 0) == 0 ||
+       label.find("/" + pre) != std::string::npos))
+    return;
+
+  static const char* const kSimdHeaders[] = {
+      "immintrin.h", "x86intrin.h", "xmmintrin.h", "emmintrin.h",
+      "pmmintrin.h", "tmmintrin.h", "smmintrin.h", "nmmintrin.h",
+      "wmmintrin.h", "avxintrin.h", "avx2intrin.h", "avx512fintrin.h",
+      "arm_neon.h",  "arm_sve.h"};
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view lv(content.data() + pos, eol - pos);
+    std::size_t first = lv.find_first_not_of(" \t");
+    if (first != std::string_view::npos && lv[first] == '#' &&
+        lv.find("include") != std::string_view::npos) {
+      for (const char* hdr : kSimdHeaders) {
+        if (lv.find(hdr) != std::string_view::npos) {
+          out.push_back(
+              {label, line, "R7",
+               std::string("SIMD intrinsic header <") + hdr +
+                   "> outside " + pre +
+                   "; vector code must live behind the compute-backend "
+                   "kernel tables so its determinism contract is declared "
+                   "and tested"});
+          break;
+        }
+      }
+    }
+    line += 1;
+    pos = eol + 1;
+  }
+
+  for (const auto& t : lx.tokens) {
+    if (t.kind != Token::Ident) continue;
+    const std::string& s = t.text;
+    const bool intrinsic =
+        s.rfind("_mm", 0) == 0 || s.rfind("__m128", 0) == 0 ||
+        s.rfind("__m256", 0) == 0 || s.rfind("__m512", 0) == 0;
+    if (!intrinsic) continue;
+    out.push_back({label, t.line, "R7",
+                   "SIMD intrinsic '" + s + "' outside " + pre +
+                       "; route the computation through the backend kernel "
+                       "tables (scalar oracle + per-backend contract)"});
   }
 }
 
@@ -752,6 +815,7 @@ std::vector<Finding> scan_source(const std::string& label,
   scan_r3_r4(label, lx, opt, findings);
   scan_r5(label, lx, opt, findings);
   scan_r6(label, lx, findings);
+  scan_r7(label, content, lx, opt, findings);
   findings = apply_waivers(std::move(findings), label, lx);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -30,6 +30,13 @@
 //       call (push_back/emplace/insert/resize/...) inside a consume()
 //       body breaks the streaming executor's O(chunk) memory contract.
 //       Bounded growth (reserved up front) is waived inline.
+//   R7  SIMD intrinsics (immintrin.h-family includes, _mm*/__m128/
+//       __m256/__m512 identifiers) only inside src/backend/ — vector
+//       code outside the pluggable-backend boundary would fork the
+//       per-backend determinism contract invisibly: the backend tables
+//       are the single place where packed arithmetic is declared either
+//       bit-exact or contract-covered, and the equivalence suite only
+//       tests what flows through them.
 //
 // Diagnostics are GCC-style `file:line: error[rule]: message`. A finding
 // can be waived inline:
@@ -55,7 +62,7 @@ namespace gdelay::audit {
 struct Finding {
   std::string file;     ///< Label the file was scanned under.
   int line = 0;         ///< 1-based.
-  std::string rule;     ///< "R1".."R6", or "waiver" for a malformed waiver.
+  std::string rule;     ///< "R1".."R7", or "waiver" for a malformed waiver.
   std::string message;  ///< Human-readable explanation with the fix.
 };
 
@@ -64,13 +71,20 @@ struct Finding {
 struct Options {
   /// R1 does not apply here (this is where the det_* kernels live).
   std::string fastmath_suffix = "util/fastmath.h";
-  /// Labels containing one of these may call getenv (R2).
-  std::vector<std::string> getenv_allowed = {"util/thread_pool"};
+  /// Labels containing one of these may call getenv (R2): thread_pool
+  /// owns GDELAY_THREADS, the backend dispatcher owns GDELAY_BACKEND —
+  /// both are reproducibility-neutral performance knobs.
+  std::vector<std::string> getenv_allowed = {"util/thread_pool",
+                                             "backend/dispatch"};
   /// R5 applies to labels starting with one of these prefixes.
   std::vector<std::string> analog_prefixes = {"analog/", "signal/", "core/"};
   /// Labels containing one of these may hold namespace-scope mutable
-  /// state (R4). Empty on purpose: nothing in src/ needs it today.
-  std::vector<std::string> mutable_state_allowlist = {};
+  /// state (R4). Only the backend dispatcher's write-once active-table
+  /// atomics qualify today; keep this list short.
+  std::vector<std::string> mutable_state_allowlist = {"backend/dispatch"};
+  /// R7: labels starting with (or containing a path segment equal to)
+  /// this prefix may use SIMD intrinsics.
+  std::string simd_prefix = "backend/";
 };
 
 /// Scans one in-memory source file; `label` is used for diagnostics and

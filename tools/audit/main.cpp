@@ -21,7 +21,7 @@ int usage() {
                " <root>...\n"
                "Scans .h/.hpp/.cpp/.cc files under each <root> (or a single"
                " file) for\nviolations of the gdelay determinism rules"
-               " R1-R6.\n";
+               " R1-R7.\n";
   return 2;
 }
 
