@@ -40,7 +40,8 @@ void print_curve(const meas::JitterReport& j) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("BER bathtub curves through the delay circuit",
                 "(ours; dual-Dirac extrapolation of the jitter data)");
 
@@ -84,5 +85,13 @@ int main() {
       "\n  takeaway: the delay circuit costs a few ps of 1e-12 margin —\n"
       "  consistent with the paper's added-jitter budget — while the\n"
       "  injector can dial the margin away on demand for tolerance test.\n");
+  const auto open = [](const meas::JitterReport& j) {
+    return meas::eye_opening_at_ber(j.ui_ps, std::max(j.rj_rms_ps, 1e-3),
+                                    j.dj_pp_ps, 1e-12);
+  };
+  bench::write_figure_json(outdir, "bathtub",
+                           {{"eye_open_source_ps", open(j_in)},
+                            {"eye_open_channel_ps", open(j_out)},
+                            {"eye_open_stressed_ps", open(j_str)}});
   return 0;
 }

@@ -39,7 +39,8 @@ double common_window(ate::AteBus& bus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Parallel-bus deskew: raw -> ATE-native -> ps-deskew",
                 "Fig. 1 / Fig. 2 (motivating application)");
 
@@ -100,5 +101,10 @@ int main() {
               rep.span_after_ps < core::Requirements::kChannelSkewPs
                   ? "PASS (parallel-synchronous capture enabled)"
                   : "FAIL");
+  bench::write_figure_json(outdir, "fig02_deskew",
+                           {{"skew_span_before_ps", rep.span_before_ps},
+                            {"skew_span_after_ps", rep.span_after_ps},
+                            {"window_raw_ps", w_raw},
+                            {"window_deskewed_ps", w_fixed}});
   return 0;
 }

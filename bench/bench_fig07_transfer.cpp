@@ -16,7 +16,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Fine delay vs Vctrl (4-stage line)", "Fig. 7");
 
   util::Rng rng(2008);
@@ -54,5 +55,10 @@ int main() {
       ((curve.ys()[1] - curve.ys()[0]) /
        (curve.xs()[1] - curve.xs()[0])) /
           curve.mid_slope(0.4));
+  bench::write_figure_json(
+      outdir, "fig07_transfer",
+      {{"fine_range_ps", span},
+       {"mid_slope_ps_per_v", curve.mid_slope(0.5)},
+       {"dac_lsb_step_ps", curve.mid_slope(0.2) * dac.lsb_v() * 1.3}});
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Coarse delay taps (1:4 fanout + traces + 4:1 mux)",
                 "Fig. 8 / Fig. 9");
 
@@ -51,5 +52,9 @@ int main() {
   blk.select(3);
   const auto out = blk.process(stim.wf);
   bench::print_eye(out, stim.unit_interval_ps, "tap 3 output");
+  bench::write_figure_json(outdir, "fig09_coarse",
+                           {{"tap1_ps", measured[1] - measured[0]},
+                            {"tap2_ps", measured[2] - measured[0]},
+                            {"tap3_ps", measured[3] - measured[0]}});
   return 0;
 }

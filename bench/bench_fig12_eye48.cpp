@@ -19,7 +19,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("4.8 Gbps eyes at min/max fine delay", "Fig. 12");
 
   util::Rng rng(2008);
@@ -67,5 +68,10 @@ int main() {
   bench::print_eye(eye_in.eye(), "input reference");
   bench::print_eye(eye_min.eye(), "output, Vctrl = 0 (min delay)");
   bench::print_eye(eye_max.eye(), "output, Vctrl = max (max delay)");
+  bench::write_figure_json(
+      outdir, "fig12_eye48",
+      {{"input_tj_pp_ps", j_in.report().tj_pp_ps},
+       {"output_tj_pp_ps", j_max.report().tj_pp_ps},
+       {"fine_range_ps", range}});
   return 0;
 }

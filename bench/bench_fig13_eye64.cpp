@@ -20,7 +20,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("6.4 Gbps DUT signal through the delay circuit", "Fig. 13");
 
   util::Rng rng(2008);
@@ -69,5 +70,11 @@ int main() {
   bench::print_eye(eye_in.eye(), "input (DUT output)");
   bench::print_eye(eye_out.eye(),
                    "delayed output (attenuated by measurement pad)");
+  bench::write_figure_json(
+      outdir, "fig13_eye64",
+      {{"input_tj_pp_ps", j_in.report().tj_pp_ps},
+       {"output_tj_pp_ps", j_out.report().tj_pp_ps},
+       {"added_tj_pp_ps",
+        j_out.report().tj_pp_ps - j_in.report().tj_pp_ps}});
   return 0;
 }

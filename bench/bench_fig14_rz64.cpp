@@ -12,7 +12,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("6.4 GHz clock through the 4-stage fine delay", "Fig. 14");
 
   util::Rng rng(2008);
@@ -46,5 +47,8 @@ int main() {
 
   bench::section("Eye diagram (folded on the 78 ps half-period)");
   bench::print_eye(out, stim.unit_interval_ps, "delayed 6.4 GHz clock");
+  bench::write_figure_json(outdir, "fig14_rz64",
+                           {{"fine_range_ps", range},
+                            {"output_tj_pp_ps", j_out.tj_pp_ps}});
   return 0;
 }

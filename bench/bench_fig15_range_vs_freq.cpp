@@ -13,7 +13,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Delay range vs clock frequency, 2-stage vs 4-stage",
                 "Fig. 15");
 
@@ -57,5 +58,10 @@ int main() {
               100.0 * last4 / first4);
   std::printf("  4-stage usable (>= 33 ps coarse step) up to ~5 GHz: %s\n",
               "see table");
+  bench::write_figure_json(outdir, "fig15_range_vs_freq",
+                           {{"range2_low_ps", first2},
+                            {"range4_low_ps", first4},
+                            {"range2_high_ps", last2},
+                            {"range4_high_ps", last4}});
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Jitter injection via Vctrl noise at 3.2 Gbps", "Fig. 16");
 
   util::Rng rng(2008);
@@ -46,5 +47,10 @@ int main() {
   bench::print_eye(stim.wf, stim.unit_interval_ps, "input reference");
   bench::print_eye(out, stim.unit_interval_ps,
                    "output with 900 mVpp noise on Vctrl");
+  bench::write_figure_json(
+      outdir, "fig16_injection",
+      {{"input_tj_pp_ps", j_in.tj_pp_ps},
+       {"output_tj_pp_ps", j_out.tj_pp_ps},
+       {"injected_tj_pp_ps", j_out.tj_pp_ps - j_in.tj_pp_ps}});
   return 0;
 }

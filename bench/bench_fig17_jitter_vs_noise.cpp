@@ -22,7 +22,8 @@
 
 using namespace gdelay;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Injected jitter vs noise amplitude at 3.2 Gbps", "Fig. 17");
 
   util::Rng rng(2008);
@@ -64,10 +65,12 @@ int main() {
 
   bench::section("Added jitter vs noise amplitude (3-seed average)");
   std::printf("  %10s %12s   plot\n", "noise(Vpp)", "added TJ(ps)");
+  double added_at_max = 0.0;
   for (std::size_t a = 0; a < amplitudes.size(); ++a) {
     double added = 0.0;
     for (std::size_t s = 0; s < kSeeds; ++s) added += trial[a * kSeeds + s];
     added /= static_cast<double>(kSeeds);
+    added_at_max = added;
     const int stars = added > 0 ? static_cast<int>(added + 0.5) : 0;
     std::printf("  %10.1f %12.2f   |%.*s*\n", amplitudes[a], added, stars,
                 "                                                        ");
@@ -76,5 +79,9 @@ int main() {
       "\n  shape: approximately linear in the noise amplitude (Fig. 17),\n"
       "  since delay is locally linear in Vctrl around the mid-range\n"
       "  operating point.\n");
+  bench::write_figure_json(
+      outdir, "fig17_jitter_vs_noise",
+      {{"added_tj_at_max_vpp_ps", added_at_max},
+       {"max_noise_vpp", amplitudes.back()}});
   return 0;
 }

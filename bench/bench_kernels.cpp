@@ -9,7 +9,9 @@
 // with samples/s per kernel, the headline FineDelayLine block-vs-step
 // speedup (target: >= 3x single-thread), and — when the AVX2 backend is
 // usable on this machine — per-kernel and whole-channel scalar-vs-AVX2
-// rows with the SIMD speedup verdict (target: >= 4x on the channel).
+// rows with the SIMD speedup verdict (target: >= 4x on the channel),
+// plus lane-batched 4-stream rows and the batch_channel_speedup verdict
+// (batched AVX2 channel vs solo scalar channel, target: >= 3x).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,13 +27,16 @@
 #include "bench/common.h"
 #include "bench/gbench_json.h"
 #include "bench/memtrack.h"
+#include "core/batch.h"
 #include "core/channel.h"
 #include "core/fine_delay.h"
+#include "signal/waveform.h"
 #include "util/rng.h"
 
 namespace ga = gdelay::analog;
 namespace gb = gdelay::backend;
 namespace gc = gdelay::core;
+namespace gs = gdelay::sig;
 using gdelay::util::Rng;
 
 namespace {
@@ -304,6 +309,129 @@ void register_channel_rows(const char* backend) {
       });
 }
 
+// ---------------------------------------------------------------------------
+// Lane-batched rows: four independent streams interleaved time-major and
+// advanced together through the serial recursions, so items = 4 x kN per
+// iteration. The tentpole metric — batch_channel_speedup in the json —
+// is "ChannelBatch4_block/avx2" against the solo
+// "VariableDelayChannel_block/scalar": what batching plus SIMD buys over
+// one stream on the reference backend.
+
+template <typename Fill>
+std::vector<double> interleaved4(Fill fill) {
+  constexpr std::size_t kW = 4;
+  const auto& in = stim();
+  std::vector<double> buf(in.size() * kW);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    for (std::size_t l = 0; l < kW; ++l) buf[i * kW + l] = fill(in[i], l);
+  return buf;
+}
+
+void register_batch_rows(const char* backend) {
+  const std::string suffix = std::string("/") + backend;
+  benchmark::RegisterBenchmark(
+      ("Kernel_onepole_batch4" + suffix).c_str(),
+      [backend](benchmark::State& s) {
+        constexpr std::size_t kW = 4;
+        const std::vector<double> buf = interleaved4(
+            [](double x, std::size_t l) {
+              return x * (1.0 + 0.1 * static_cast<double>(l));
+            });
+        std::vector<double> out(buf.size());
+        const std::size_t n = buf.size() / kW;
+        const double alpha[kW] = {0.17, 0.17, 0.17, 0.17};
+        gb::OnePoleState st[kW];
+        gb::OnePoleState* stp[kW] = {&st[0], &st[1], &st[2], &st[3]};
+        gb::select(backend);
+        const gb::Kernels& k = gb::active();
+        for (auto _ : s) {
+          k.one_pole_batch(buf.data(), out.data(), n, kW, alpha, stp);
+          benchmark::DoNotOptimize(out.data());
+          benchmark::ClobberMemory();
+        }
+        s.SetItemsProcessed(static_cast<int64_t>(s.iterations() * n * kW));
+        gb::select("scalar");
+      });
+  benchmark::RegisterBenchmark(
+      ("Kernel_slew_batch4" + suffix).c_str(), [backend](benchmark::State& s) {
+        constexpr std::size_t kW = 4;
+        const std::vector<double> buf = interleaved4(
+            [](double x, std::size_t l) {
+              return x * (1.0 + 0.1 * static_cast<double>(l));
+            });
+        std::vector<double> out(buf.size());
+        const std::size_t n = buf.size() / kW;
+        gb::SlewCoeffs c;
+        c.max_step = 0.00125;
+        c.lin = 0.0124;
+        c.leak = 0.00083;
+        c.has_lin = true;
+        c.has_leak = true;
+        const gb::SlewCoeffs* cp[kW] = {&c, &c, &c, &c};
+        gb::SlewState st[kW];
+        gb::SlewState* stp[kW] = {&st[0], &st[1], &st[2], &st[3]};
+        gb::select(backend);
+        const gb::Kernels& k = gb::active();
+        for (auto _ : s) {
+          k.slew_batch(buf.data(), out.data(), n, kW, cp, stp);
+          benchmark::DoNotOptimize(out.data());
+          benchmark::ClobberMemory();
+        }
+        s.SetItemsProcessed(static_cast<int64_t>(s.iterations() * n * kW));
+        gb::select("scalar");
+      });
+  benchmark::RegisterBenchmark(
+      ("ChannelBatch4_block" + suffix).c_str(),
+      [backend](benchmark::State& s) {
+        constexpr std::size_t kW = 4;
+        gb::select(backend);
+        const gs::Waveform wf(0.0, kDt, stim());
+        std::vector<gc::VariableDelayChannel> chans;
+        chans.reserve(kW);
+        for (std::size_t i = 0; i < kW; ++i) {
+          chans.emplace_back(gc::ChannelConfig::prototype(),
+                             Rng(5 + static_cast<std::uint64_t>(i)));
+          chans.back().set_vctrl(0.75);
+        }
+        gc::BatchRunner runner;
+        for (auto& c : chans) runner.add(c);
+        std::vector<gs::Waveform> outs;
+        for (auto _ : s) {
+          runner.run(wf, outs);
+          benchmark::DoNotOptimize(outs.data());
+          benchmark::ClobberMemory();
+        }
+        s.SetItemsProcessed(
+            static_cast<int64_t>(s.iterations() * wf.size() * kW));
+        gb::select("scalar");
+      });
+  benchmark::RegisterBenchmark(
+      ("FineDelayBatch4_block" + suffix).c_str(),
+      [backend](benchmark::State& s) {
+        constexpr std::size_t kW = 4;
+        gb::select(backend);
+        const gs::Waveform wf(0.0, kDt, stim());
+        std::vector<gc::FineDelayLine> lines;
+        lines.reserve(kW);
+        for (std::size_t i = 0; i < kW; ++i) {
+          lines.emplace_back(gc::FineDelayConfig{},
+                             Rng(4 + static_cast<std::uint64_t>(i)));
+          lines.back().set_vctrl(0.75);
+        }
+        gc::BatchRunner runner;
+        for (auto& l : lines) runner.add(l);
+        std::vector<gs::Waveform> outs;
+        for (auto _ : s) {
+          runner.run(wf, outs);
+          benchmark::DoNotOptimize(outs.data());
+          benchmark::ClobberMemory();
+        }
+        s.SetItemsProcessed(
+            static_cast<int64_t>(s.iterations() * wf.size() * kW));
+        gb::select("scalar");
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,9 +441,11 @@ int main(int argc, char** argv) {
 
   register_kernel_rows("scalar");
   register_channel_rows("scalar");
+  register_batch_rows("scalar");
   if (avx2_usable()) {
     register_kernel_rows("avx2");
     register_channel_rows("avx2");
+    register_batch_rows("avx2");
   } else {
     std::printf("note: AVX2 backend not usable on this machine; "
                 "scalar-only rows\n");
@@ -357,6 +487,29 @@ int main(int argc, char** argv) {
                 simd_chan, simd_chan >= 4.0 ? "PASS" : "MISS");
   }
 
+  // Lane-batched verdict: 4 streams through the batched executor on the
+  // AVX2 table vs one stream on the scalar oracle — what multi-stream
+  // work (MC trials, sweep points, board channels) actually gains.
+  const double solo_scalar =
+      rep.items_per_sec("VariableDelayChannel_block/scalar");
+  const double batch_scalar = rep.items_per_sec("ChannelBatch4_block/scalar");
+  const double batch_avx2 = rep.items_per_sec("ChannelBatch4_block/avx2");
+  const double batch_chan =
+      solo_scalar > 0.0 && batch_avx2 > 0.0 ? batch_avx2 / solo_scalar : 0.0;
+  std::printf("\nlane-batched (4-wide) vs solo scalar channel:\n");
+  std::printf("  ChannelBatch4/scalar      : %.2fx (batching alone)\n",
+              solo_scalar > 0.0 ? batch_scalar / solo_scalar : 0.0);
+  if (avx2_usable()) {
+    std::printf("  Kernel_onepole_batch4     : %.2fx (avx2 vs scalar batch)\n",
+                ratio_of("Kernel_onepole_batch4"));
+    std::printf("  Kernel_slew_batch4        : %.2fx (avx2 vs scalar batch)\n",
+                ratio_of("Kernel_slew_batch4"));
+    std::printf("  FineDelayBatch4_block     : %.2fx (avx2 vs scalar batch)\n",
+                ratio_of("FineDelayBatch4_block"));
+    std::printf("  batch_channel_speedup     : %.2fx (target >= 3x)  %s\n",
+                batch_chan, batch_chan >= 3.0 ? "PASS" : "MISS");
+  }
+
   const auto heap = gdelay::bench::heap_snapshot();
   gdelay::bench::MemReport mem;
   mem.peak_rss_bytes = gdelay::bench::peak_rss_bytes();
@@ -370,7 +523,9 @@ int main(int argc, char** argv) {
        {"channel_block_speedup", chan},
        {"speedup_target", 3.0},
        {"simd_channel_speedup", simd_chan},
-       {"simd_speedup_target", 4.0}},
+       {"simd_speedup_target", 4.0},
+       {"batch_channel_speedup", batch_chan},
+       {"batch_speedup_target", 3.0}},
       &mem);
   benchmark::Shutdown();
   return 0;

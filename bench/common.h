@@ -6,16 +6,52 @@
 #include <filesystem>
 #include <string>
 #include <system_error>
+#include <utility>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
+#include "backend/backend.h"
 #include "measure/eye.h"
 #include "measure/jitter.h"
 #include "signal/synth.h"
 
+// Stamped by the build (bench/CMakeLists.txt) from `git rev-parse`;
+// "unknown" outside a git checkout.
+#ifndef GDELAY_GIT_REV
+#define GDELAY_GIT_REV "unknown"
+#endif
+
 namespace gdelay::bench {
+
+// BENCH_*.json schema version. v1 had no version field at all; v2 adds
+// "schema" and "git_rev" so perf snapshots are attributable to a commit;
+// v3 adds an optional "mem" object (peak RSS + heap accounting, see
+// bench/memtrack.h) and moves the files out of the CWD into an output
+// directory (default bench/out/, see parse_outdir); v4 adds a "backend"
+// object (compute-backend name, ISA level and the dispatch reason) so a
+// perf number can never be compared against one measured under a
+// different kernel table without noticing. Readers must tolerate all
+// shapes: treat a missing "schema" as v1, a missing "mem" as v2-style
+// timing-only data, and a missing "backend" as the scalar oracle.
+inline constexpr int kBenchJsonSchema = 4;
+
+/// The v4 "backend" stamp, read from the dispatcher at call time. Dual-
+/// backend harnesses select backends per benchmark run; the stamp then
+/// records the table active when the json was written (the per-row
+/// names carry the per-run backend).
+struct BackendStamp {
+  const char* name;
+  const char* isa;
+  const char* reason;
+};
+
+inline BackendStamp backend_stamp() {
+  const gdelay::backend::Kernels& k = gdelay::backend::active();
+  return {k.name, k.isa, gdelay::backend::dispatch_reason()};
+}
 
 /// Where a bench drops its BENCH_*.json. Benches accept
 /// `--outdir DIR` / `--outdir=DIR` (default "bench/out", relative to
@@ -61,6 +97,35 @@ inline std::size_t peak_rss_bytes() {
 #else
   return 0;
 #endif
+}
+
+/// Hand-rolled BENCH_<name>.json for the figure benches: the schema-4
+/// envelope (version, git rev, backend stamp, peak RSS) around a flat
+/// list of headline scalars — the numbers a perf/accuracy dashboard
+/// tracks per figure. Non-harness counterpart of write_gbench_json.
+inline void write_figure_json(
+    const std::string& outdir, const char* bench_name,
+    const std::vector<std::pair<std::string, double>>& scalars) {
+  const std::string path = outdir + "/BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return;
+  }
+  const BackendStamp bs = backend_stamp();
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"schema\": %d,\n"
+               "  \"git_rev\": \"%s\",\n"
+               "  \"backend\": {\"name\": \"%s\", \"isa\": \"%s\", "
+               "\"reason\": \"%s\"}",
+               bench_name, kBenchJsonSchema, GDELAY_GIT_REV, bs.name, bs.isa,
+               bs.reason);
+  for (const auto& [key, value] : scalars)
+    std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+  std::fprintf(f, ",\n  \"mem\": {\"peak_rss_bytes\": %zu}\n}\n",
+               peak_rss_bytes());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 inline void banner(const char* title, const char* paper_ref) {

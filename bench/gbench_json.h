@@ -14,42 +14,11 @@
 #include <utility>
 #include <vector>
 
-#include "backend/backend.h"
-
-// Stamped by the build (bench/CMakeLists.txt) from `git rev-parse`;
-// "unknown" outside a git checkout.
-#ifndef GDELAY_GIT_REV
-#define GDELAY_GIT_REV "unknown"
-#endif
+// The schema version, backend stamp and GDELAY_GIT_REV fallback moved to
+// bench/common.h so the non-harness figure benches share one envelope.
+#include "bench/common.h"
 
 namespace gdelay::bench {
-
-// BENCH_*.json schema version. v1 had no version field at all; v2 adds
-// "schema" and "git_rev" so perf snapshots are attributable to a commit;
-// v3 adds an optional "mem" object (peak RSS + heap accounting, see
-// bench/memtrack.h) and moves the files out of the CWD into an output
-// directory (default bench/out/, see parse_outdir); v4 adds a "backend"
-// object (compute-backend name, ISA level and the dispatch reason) so a
-// perf number can never be compared against one measured under a
-// different kernel table without noticing. Readers must tolerate all
-// shapes: treat a missing "schema" as v1, a missing "mem" as v2-style
-// timing-only data, and a missing "backend" as the scalar oracle.
-inline constexpr int kBenchJsonSchema = 4;
-
-/// The v4 "backend" stamp, read from the dispatcher at call time. Dual-
-/// backend harnesses select backends per benchmark run; the stamp then
-/// records the table active when the json was written (the per-row
-/// names carry the per-run backend).
-struct BackendStamp {
-  const char* name;
-  const char* isa;
-  const char* reason;
-};
-
-inline BackendStamp backend_stamp() {
-  const gdelay::backend::Kernels& k = gdelay::backend::active();
-  return {k.name, k.isa, gdelay::backend::dispatch_reason()};
-}
 
 /// Memory numbers for the v3 "mem" object. Zero means "not tracked"
 /// (e.g. a bench that reports RSS but does not replace operator new).

@@ -98,11 +98,18 @@ class VariableGainBuffer final : public AnalogElement {
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
 
- private:
   /// Hoists the droop/slew-tail coefficients for (vctrl_, dt_ps) — every
   /// value a pure function of the config, bit-equal between paths.
+  /// Public (with the part accessors below) so the batch executor can
+  /// run this stage's exact pass sequence through the batched kernels.
   backend::VgaTailCoeffs tail_coeffs(double dt_ps);
+  SinglePoleFilter& lpf() { return lpf_; }
+  NoiseSource& noise() { return noise_; }
+  SlewRateLimiter& slew_limiter() { return slew_; }
+  SinglePoleFilter& out_pole() { return out_pole_; }
+  backend::VgaTailState& tail_state() { return tail_; }
 
+ private:
   VgaBufferConfig cfg_;
   double vctrl_;
   TanhLimiter input_;
@@ -144,6 +151,12 @@ class LimitingBuffer final : public AnalogElement {
   double step(double vin, double dt_ps) override;
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
+
+  /// Batch-executor part accessors (the tanh stages are parameterized by
+  /// config() alone, so only the stateful parts need exposing).
+  SinglePoleFilter& lpf() { return lpf_; }
+  NoiseSource& noise() { return noise_; }
+  SlewRateLimiter& slew_limiter() { return slew_; }
 
  private:
   LimitingBufferConfig cfg_;

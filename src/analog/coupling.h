@@ -82,10 +82,20 @@ class NoiseSource {
   /// Renders `n` samples as a waveform on the given grid.
   sig::Waveform waveform(double t0_ps, double dt_ps, std::size_t n);
 
- private:
-  /// (Re)derives the dt-dependent filter coefficients.
+  /// (Re)derives the dt-dependent filter coefficients. Public so the
+  /// batch executor can prime a stream before reading the accessors
+  /// below; process_block() primes itself, so solo callers never need it.
   void prime(double dt_ps);
 
+  /// Batch-executor hooks: the primed coefficients, the RNG (same
+  /// per-stream draw order as the solo path — fill_gaussian is
+  /// chunk-invariant by the Rng contract) and the recursion state.
+  double primed_alpha() const { return blk_alpha_; }
+  double primed_sigma_x() const { return blk_sx_; }
+  util::Rng& rng() { return rng_; }
+  backend::OnePoleState& pole_state() { return st_; }
+
+ private:
   double sigma_;
   double bw_;
   util::Rng rng_;

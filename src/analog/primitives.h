@@ -42,6 +42,13 @@ class SinglePoleFilter final : public AnalogElement {
   /// Time constant tau = 1/(2*pi*f3dB) in ps.
   double tau_ps() const;
 
+  /// (Re)derives the dt-keyed coefficient and returns it, exposing the
+  /// recursion state below — the hooks the batch executor uses to drive
+  /// this filter through one_pole_batch with the exact coefficient and
+  /// state the solo block path would use.
+  double prime(double dt_ps) { return alpha_for(dt_ps); }
+  backend::OnePoleState& pole_state() { return st_; }
+
  private:
   double alpha_for(double dt_ps);
 

@@ -35,6 +35,12 @@ class TransmissionLine final : public AnalogElement {
   void process_block(const double* in, double* out, std::size_t n,
                      double dt_ps) override;
 
+  /// Batch-executor part accessors.
+  FractionalDelay& frac_delay() { return delay_; }
+  double loss_factor() const { return loss_factor_; }
+  bool has_pole() const { return has_pole_; }
+  SinglePoleFilter& pole() { return pole_; }
+
  private:
   TransmissionLineConfig cfg_;
   FractionalDelay delay_;

@@ -49,6 +49,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <string>
 
 #include "util/fastmath.h"
 
@@ -207,6 +208,42 @@ struct Kernels {
   /// VariableGainBuffer droop/slew tail over a block (see vga_tail_step).
   void (*vga_tail)(const double* lim, double* out, std::size_t n,
                    const VgaTailCoeffs& c, SlewState& slew, VgaTailState& d);
+
+  // -------------------------------------------------------------------------
+  // Lane-batched kernels: `w` independent streams interleaved time-major,
+  // buf[i*w + s] = sample i of stream s. Per-stream parameters/state come
+  // as length-w arrays. Contract (enforced by test_batch_equivalence):
+  // stream s's output is bit-identical to running the solo kernel of the
+  // SAME table over its de-interleaved samples with the same state —
+  // for any width w, any stream-to-lane assignment, and any partition of
+  // the sample stream into batch calls. This is what finally vectorizes
+  // the serial-by-contract recursions (slew, droop tail): they stay
+  // serial in time but run 4 streams wide per AVX2 iteration.
+
+  /// Batched tanh_stage: per-stream gain/ref/post; add is an interleaved
+  /// buffer of the same shape or nullptr.
+  void (*tanh_stage_batch)(const double* x, const double* add, double* out,
+                           std::size_t n, std::size_t w, const double* gain,
+                           const double* ref, const double* post);
+
+  /// Batched one-pole recursion: per-stream alpha and state pointers.
+  void (*one_pole_batch)(const double* x, double* out, std::size_t n,
+                         std::size_t w, const double* alpha,
+                         OnePoleState* const* st);
+
+  /// Batched slew-limiter recursion.
+  void (*slew_batch)(const double* x, double* out, std::size_t n,
+                     std::size_t w, const SlewCoeffs* const* c,
+                     SlewState* const* st);
+
+  /// Batched VariableGainBuffer droop/slew tail.
+  void (*vga_tail_batch)(const double* lim, double* out, std::size_t n,
+                         std::size_t w, const VgaTailCoeffs* const* c,
+                         SlewState* const* slew_st, VgaTailState* const* d);
+
+  // exp_block (and scale) are elementwise with no per-stream parameters,
+  // so a batched call is just the flat kernel over n*w samples — no
+  // dedicated table entry is needed.
 };
 
 // ---------------------------------------------------------------------------
@@ -239,5 +276,11 @@ void select(const char* name);
 /// BENCH json "backend" object), e.g. "GDELAY_BACKEND=avx2",
 /// "default: scalar oracle", "avx2 requested but CPU lacks AVX2".
 const char* dispatch_reason();
+
+/// Multi-line diagnostic listing every known backend with its
+/// availability on this machine, followed by the active table and its
+/// dispatch reason. Printed by `GDELAY_BACKEND=list` (to stderr, before
+/// falling back to the scalar oracle) and by `gdelay_tool --backends`.
+std::string list_backends();
 
 }  // namespace gdelay::backend

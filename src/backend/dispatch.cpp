@@ -14,6 +14,7 @@
 #include "backend/backend.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -35,6 +36,20 @@ struct Resolution {
 // inside process_block().
 std::atomic<const Kernels*> g_active{nullptr};
 std::atomic<const char*> g_reason{"unresolved"};
+
+// Availability listing WITHOUT consulting active(): resolve_from_env()
+// prints this while resolution is in flight, so it must not recurse.
+std::string describe_available() {
+  std::string out = "compute backends:\n";
+  out += "  scalar  isa=generic   available (reference oracle, default)\n";
+  if (avx2_kernels() == nullptr)
+    out += "  avx2    isa=avx2+fma  unavailable: binary built without AVX2\n";
+  else if (!cpu_supports_avx2())
+    out += "  avx2    isa=avx2+fma  unavailable: CPU lacks AVX2+FMA\n";
+  else
+    out += "  avx2    isa=avx2+fma  available\n";
+  return out;
+}
 
 Resolution resolve_from_env() {
   // getenv is allowlisted for this file (audit R2): GDELAY_BACKEND is a
@@ -59,6 +74,13 @@ Resolution resolve_from_env() {
     if (avx2_kernels() != nullptr && cpu_supports_avx2())
       return {avx2_kernels(), "GDELAY_BACKEND=auto: CPU supports AVX2+FMA"};
     return {&scalar_kernels(), "GDELAY_BACKEND=auto: AVX2 unavailable; scalar"};
+  }
+  if (std::strcmp(env, "list") == 0) {
+    // Diagnostic mode: print the availability listing once (resolution
+    // runs once per process) and continue on the scalar oracle so the
+    // program still behaves deterministically.
+    std::fputs(describe_available().c_str(), stderr);
+    return {&scalar_kernels(), "GDELAY_BACKEND=list: diagnostic; scalar"};
   }
   return {&scalar_kernels(), "GDELAY_BACKEND unrecognized; scalar"};
 }
@@ -121,6 +143,13 @@ const char* dispatch_reason() {
   // Make sure lazy resolution has happened so the reason is meaningful.
   (void)active();
   return g_reason.load(std::memory_order_acquire);
+}
+
+std::string list_backends() {
+  std::string out = describe_available();
+  const Kernels& k = active();
+  out += std::string("active: ") + k.name + " (" + dispatch_reason() + ")\n";
+  return out;
 }
 
 }  // namespace gdelay::backend

@@ -27,4 +27,19 @@ void slew(const double* x, double* out, std::size_t n, const SlewCoeffs& c,
 void vga_tail(const double* lim, double* out, std::size_t n,
               const VgaTailCoeffs& c, SlewState& slew_st, VgaTailState& d);
 
+// Lane-batched reference kernels: each stream is advanced loop-wise with
+// the exact solo reference arithmetic, so batch-vs-solo byte identity on
+// the scalar backend holds by construction.
+void tanh_stage_batch(const double* x, const double* add, double* out,
+                      std::size_t n, std::size_t w, const double* gain,
+                      const double* ref, const double* post);
+void one_pole_batch(const double* x, double* out, std::size_t n,
+                    std::size_t w, const double* alpha,
+                    OnePoleState* const* st);
+void slew_batch(const double* x, double* out, std::size_t n, std::size_t w,
+                const SlewCoeffs* const* c, SlewState* const* st);
+void vga_tail_batch(const double* lim, double* out, std::size_t n,
+                    std::size_t w, const VgaTailCoeffs* const* c,
+                    SlewState* const* slew_st, VgaTailState* const* d);
+
 }  // namespace gdelay::backend::ref

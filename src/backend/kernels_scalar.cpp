@@ -79,6 +79,67 @@ void vga_tail(const double* lim, double* out, std::size_t n,
   d = dd;
 }
 
+// ---------------------------------------------------------------------------
+// Lane-batched kernels over `w` interleaved streams (buf[i*w + s]). Each
+// stream is walked stream-major with the solo reference arithmetic on its
+// strided column, so per-stream output is byte-identical to the solo
+// kernel by construction — for any width and any lane assignment.
+
+void tanh_stage_batch(const double* x, const double* add, double* out,
+                      std::size_t n, std::size_t w, const double* gain,
+                      const double* ref, const double* post) {
+  if (add != nullptr) {
+    for (std::size_t s = 0; s < w; ++s) {
+      const double g = gain[s], r = ref[s], p = post[s];
+      for (std::size_t i = 0; i < n; ++i)
+        out[i * w + s] = p * util::det_tanh(g * (x[i * w + s] + add[i * w + s]) / r);
+    }
+  } else {
+    for (std::size_t s = 0; s < w; ++s) {
+      const double g = gain[s], r = ref[s], p = post[s];
+      for (std::size_t i = 0; i < n; ++i)
+        out[i * w + s] = p * util::det_tanh(g * x[i * w + s] / r);
+    }
+  }
+}
+
+void one_pole_batch(const double* x, double* out, std::size_t n,
+                    std::size_t w, const double* alpha,
+                    OnePoleState* const* st) {
+  for (std::size_t s = 0; s < w; ++s) {
+    double y = st[s]->y;
+    const double a = alpha[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      y += a * (x[i * w + s] - y);
+      out[i * w + s] = y;
+    }
+    st[s]->y = y;
+  }
+}
+
+void slew_batch(const double* x, double* out, std::size_t n, std::size_t w,
+                const SlewCoeffs* const* c, SlewState* const* st) {
+  for (std::size_t s = 0; s < w; ++s) {
+    SlewState loc = *st[s];
+    for (std::size_t i = 0; i < n; ++i)
+      out[i * w + s] = slew_step(*c[s], loc, x[i * w + s]);
+    *st[s] = loc;
+  }
+}
+
+void vga_tail_batch(const double* lim, double* out, std::size_t n,
+                    std::size_t w, const VgaTailCoeffs* const* c,
+                    SlewState* const* slew_st, VgaTailState* const* d) {
+  for (std::size_t s = 0; s < w; ++s) {
+    SlewState sl = *slew_st[s];
+    VgaTailState dd = *d[s];
+    for (std::size_t i = 0; i < n; ++i)
+      out[i * w + s] = vga_tail_step(*c[s], sl, dd, lim[i * w + s]);
+    *slew_st[s] = sl;
+    *d[s] = dd;
+  }
+}
+
 }  // namespace ref
 
 namespace {
@@ -96,6 +157,10 @@ const Kernels kScalar = {
     ref::one_pole,
     ref::slew,
     ref::vga_tail,
+    ref::tanh_stage_batch,
+    ref::one_pole_batch,
+    ref::slew_batch,
+    ref::vga_tail_batch,
 };
 
 }  // namespace

@@ -1,0 +1,100 @@
+// Lane-batched multi-stream executor.
+//
+// The serial-by-contract recursions (slew limiting, the VGA droop tail)
+// capped PR 5's whole-channel AVX2 speedup at ~1.7x: a single stream
+// cannot vectorize a loop-carried nonlinear dependence. But the repo's
+// dominant workloads — Monte-Carlo matching trials, calibration Vctrl
+// sweeps, board channels — are embarrassingly parallel across STREAMS.
+// BatchRunner exploits that: it takes N independent cloned element
+// chains (decorrelated via fork_noise(), programmed with per-stream taps
+// and Vctrl), transposes each chunk into an interleaved time-major
+// layout buf[i*w + s], and drives the chains' exact pass sequences
+// through the lane-batched backend kernels (tanh_stage_batch /
+// one_pole_batch / slew_batch / vga_tail_batch), which advance 4 streams
+// per AVX2 iteration — serial in time, parallel across streams.
+//
+// Determinism contract (enforced by tests/test_batch_equivalence.cpp):
+// every stream's output is bit-identical to its solo run
+// (stream.process(stimulus)) on the same backend, for ANY batch width
+// and ANY stream-to-lane assignment. Each stream draws from its own RNG
+// in the solo order, so fork_noise() decorrelation is preserved exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "backend/backend.h"
+#include "core/channel.h"
+#include "measure/sinks.h"
+#include "signal/waveform.h"
+
+namespace gdelay::core {
+
+class BatchRunner {
+ public:
+  BatchRunner() = default;
+
+  /// Adds a stream (borrowed; must outlive the runner). All streams in
+  /// one runner must be the same kind — whole channels or bare fine
+  /// lines — with the same stage count; per-stream tap selection, Vctrl
+  /// and RNG streams may differ freely.
+  void add(VariableDelayChannel& ch);
+  void add(FineDelayLine& line);
+
+  std::size_t width() const {
+    return channels_.empty() ? fines_.size() : channels_.size();
+  }
+
+  /// Resets every stream, then runs the shared stimulus through all of
+  /// them in lockstep chunks. outs[s] is bit-identical to
+  /// streams[s].process(stimulus) on the active backend.
+  std::vector<sig::Waveform> run(const sig::Waveform& stimulus);
+
+  /// Reuse variant: `outs` is resized/regridded as needed, so repeated
+  /// runs allocate nothing after the first.
+  void run(const sig::Waveform& stimulus, std::vector<sig::Waveform>& outs);
+
+  /// Streaming variant: feeds each stream's output column into its sink
+  /// (begin/consume/finish), chunked exactly like the solo Pipeline
+  /// path, so incremental measurements match their solo-run results.
+  void run(const sig::Waveform& stimulus,
+           const std::vector<meas::ISampleSink*>& sinks);
+
+ private:
+  enum class Lim { kFanout, kMux, kFineOut };
+
+  FineDelayLine& fine_of(std::size_t s) {
+    return channels_.empty() ? *fines_[s] : channels_[s]->fine();
+  }
+  analog::VariableGainBuffer& vga_of(std::size_t s, int stage) {
+    return fine_of(s).stage(stage);
+  }
+  analog::LimitingBuffer& lim_of(std::size_t s, Lim which);
+
+  void reset_streams();
+  void ensure_scratch(std::size_t n);
+  /// One interleaved chunk through the full chain, in place.
+  void process_chunk(double* buf, std::size_t n, double dt_ps);
+  void limiting_pass(Lim which, double* buf, std::size_t n, double dt_ps);
+  void vga_pass(int stage, double* buf, std::size_t n, double dt_ps);
+  void tline_pass(int tap, const double* in, double* out, std::size_t n,
+                  double dt_ps);
+  void noise_pass(double* noise, std::size_t n, double dt_ps);
+
+  std::vector<VariableDelayChannel*> channels_;
+  std::vector<FineDelayLine*> fines_;
+
+  // Chunk scratch (interleaved, kBlockSamples * width) and per-stream
+  // marshalling arrays, sized once per run and reused across chunks.
+  std::vector<double> ilv_, noise_, lim_, fan_, tap_, col_;
+  std::vector<double> p0_, p1_, p2_;
+  std::vector<analog::NoiseSource*> nsrc_;
+  std::vector<backend::OnePoleState*> poles_;
+  std::vector<const backend::SlewCoeffs*> slewc_;
+  std::vector<backend::SlewState*> slews_;
+  std::vector<backend::VgaTailCoeffs> tailc_;
+  std::vector<const backend::VgaTailCoeffs*> tailcp_;
+  std::vector<backend::VgaTailState*> tails_;
+};
+
+}  // namespace gdelay::core

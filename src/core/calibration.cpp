@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/batch.h"
 #include "measure/delay_meter.h"
 #include "util/thread_pool.h"
 
@@ -17,12 +18,54 @@ meas::DelayMeterOptions meter_options(double settle_ps) {
   return o;
 }
 
+// Shared engine behind every clone-based measurement: runs `count`
+// programmed clones of `dev` through the lane-batched executor
+// (core/batch.h) in groups of four — one AVX2 lane group — with one
+// thread-pool task per group, and reduces each output waveform with
+// `measure`. `program(clone, i)` applies the per-point programming
+// (fork_noise(i), Vctrl, tap). Each clone's waveform is bit-identical to
+// its solo clone.process(stimulus) by the batch contract, and the
+// group decomposition is a pure function of the index, so results stay
+// bit-identical for any thread count — and to the pre-batching code.
+template <typename Device, typename Program, typename Measure>
+std::vector<double> measure_clones(const Device& dev,
+                                   const sig::Waveform& stimulus,
+                                   std::size_t count, Program program,
+                                   Measure measure) {
+  constexpr std::size_t kGroup = 4;
+  const std::size_t n_groups = (count + kGroup - 1) / kGroup;
+  const auto groups =
+      util::parallel_map(n_groups, [&](std::size_t g) {
+        const std::size_t lo = g * kGroup;
+        const std::size_t hi = std::min(lo + kGroup, count);
+        std::vector<Device> clones;
+        clones.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          clones.push_back(dev);
+          program(clones.back(), i);
+        }
+        BatchRunner runner;
+        for (Device& c : clones) runner.add(c);
+        const std::vector<sig::Waveform> outs = runner.run(stimulus);
+        std::vector<double> vals(outs.size());
+        for (std::size_t j = 0; j < outs.size(); ++j)
+          vals[j] = measure(outs[j]);
+        return vals;
+      });
+  std::vector<double> flat;
+  flat.reserve(count);
+  for (const auto& v : groups) flat.insert(flat.end(), v.begin(), v.end());
+  return flat;
+}
+
 // Shared sweep engine behind both measure_fine_curve overloads. Each
 // sweep point gets its own CLONE of the device (FineDelayLine and
-// VariableDelayChannel are value types), programmed to its Vctrl and
-// processed independently, so the points are embarrassingly parallel and
-// the result is bit-identical for any thread count. Point 0 sits at
-// Vctrl = 0 and doubles as the baseline the curve is referenced to.
+// VariableDelayChannel are value types), programmed to its Vctrl; the
+// points run four to a lane group through the batched executor. Point 0
+// sits at Vctrl = 0 and doubles as the baseline the curve is referenced
+// to. Forking by sweep index keeps the per-point noise realizations
+// statistically independent while remaining a pure function of the
+// index — the source of the bit-identical-at-any-thread-count guarantee.
 template <typename Device>
 util::Curve sweep_fine_curve(const Device& dev, const sig::Waveform& stimulus,
                              int n_points, double settle_ps) {
@@ -36,16 +79,13 @@ util::Curve sweep_fine_curve(const Device& dev, const sig::Waveform& stimulus,
     xs[static_cast<std::size_t>(i)] =
         vmax * static_cast<double>(i) / static_cast<double>(n_points - 1);
 
-  // Forking by sweep index keeps the per-point noise realizations
-  // statistically independent (as successive runs of the serial code
-  // were) while remaining a pure function of the index — the source of
-  // the bit-identical-at-any-thread-count guarantee.
-  std::vector<double> ys = util::parallel_map(
-      xs.size(), [&](std::size_t i) {
-        Device clone = dev;
+  std::vector<double> ys = measure_clones(
+      dev, stimulus, xs.size(),
+      [&](Device& clone, std::size_t i) {
         clone.fork_noise(i);
         clone.set_vctrl(xs[i]);
-        const auto out = clone.process(stimulus);
+      },
+      [&](const sig::Waveform& out) {
         return meas::measure_delay(stimulus, out, opts).mean_ps;
       });
 
@@ -150,15 +190,16 @@ ChannelCalibration DelayCalibrator::calibrate(
   tap0.select_tap(0);
   cal.fine_curve = measure_fine_curve(tap0, stimulus);
 
-  // Absolute latency per tap at Vctrl = 0, one clone per tap.
+  // Absolute latency per tap at Vctrl = 0: four clones, one lane group.
   const auto opts = meter_options(opt_.settle_ps);
-  const std::vector<double> latency = util::parallel_map(
-      std::size_t{4}, [&](std::size_t tap) {
-        VariableDelayChannel clone = ch;
+  const std::vector<double> latency = measure_clones(
+      ch, stimulus, std::size_t{4},
+      [&](VariableDelayChannel& clone, std::size_t tap) {
         clone.fork_noise(100 + tap);  // distinct from the sweep streams
         clone.select_tap(static_cast<int>(tap));
         clone.set_vctrl(0.0);
-        const auto out = clone.process(stimulus);
+      },
+      [&](const sig::Waveform& out) {
         return meas::measure_delay(stimulus, out, opts).mean_ps;
       });
   cal.base_latency_ps = latency[0];
@@ -170,12 +211,13 @@ ChannelCalibration DelayCalibrator::calibrate(
 double DelayCalibrator::measure_fine_range(
     const FineDelayLine& line, const sig::Waveform& stimulus) const {
   const auto opts = meter_options(opt_.settle_ps);
-  const std::vector<double> ends = util::parallel_map(
-      std::size_t{2}, [&](std::size_t i) {
-        FineDelayLine clone = line;
+  const std::vector<double> ends = measure_clones(
+      line, stimulus, std::size_t{2},
+      [&](FineDelayLine& clone, std::size_t i) {
         clone.fork_noise(i);
         clone.set_vctrl(i == 0 ? 0.0 : line.vctrl_max());
-        const auto out = clone.process(stimulus);
+      },
+      [&](const sig::Waveform& out) {
         return meas::measure_delay(stimulus, out, opts).mean_ps;
       });
   return ends[1] - ends[0];
@@ -190,13 +232,14 @@ double DelayCalibrator::measure_fine_range_periodic(
 
   // Phase at every sweep point is an independent measurement; only the
   // wrap-and-accumulate of adjacent deltas is inherently sequential.
-  const std::vector<double> phase = util::parallel_map(
-      static_cast<std::size_t>(n_steps) + 1, [&](std::size_t i) {
-        FineDelayLine clone = line;
+  const std::vector<double> phase = measure_clones(
+      line, stimulus, static_cast<std::size_t>(n_steps) + 1,
+      [&](FineDelayLine& clone, std::size_t i) {
         clone.fork_noise(i);
         clone.set_vctrl(line.vctrl_max() * static_cast<double>(i) /
                         static_cast<double>(n_steps));
-        const auto out = clone.process(stimulus);
+      },
+      [&](const sig::Waveform& out) {
         return meas::measure_phase_delay(stimulus, out, ui_ps, opts);
       });
 

@@ -68,6 +68,11 @@ class CoarseDelayBlock {
                      double dt_ps);
   sig::Waveform process(const sig::Waveform& in);
 
+  /// Batch-executor part accessors.
+  analog::LimitingBuffer& fanout() { return fanout_; }
+  analog::TransmissionLine& tap(int i) { return taps_[i]; }
+  analog::LimitingBuffer& mux() { return mux_; }
+
  private:
   CoarseDelayConfig cfg_;
   int selected_ = 0;

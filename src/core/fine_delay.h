@@ -67,6 +67,11 @@ class FineDelayLine {
   /// Runs a waveform through a freshly reset line (block path).
   sig::Waveform process(const sig::Waveform& in);
 
+  /// Batch-executor part accessors (core::BatchRunner drives the stages'
+  /// exact pass sequences through the lane-batched backend kernels).
+  analog::VariableGainBuffer& stage(int i) { return stages_[i]; }
+  analog::LimitingBuffer& output_stage() { return out_; }
+
  private:
   FineDelayConfig cfg_;
   double vctrl_;

@@ -19,6 +19,14 @@
 // Stages are borrowed, not owned: benches and calibration code keep
 // configuring the very objects (channel, injector) they stream through.
 // All referenced stages, the source and the sinks must outlive run().
+//
+// Batch-of-pipelines façade: when the SAME stimulus must be run through
+// N independent channel/fine-line chains (Monte-Carlo trials, sweep
+// points, board channels), core::BatchRunner (core/batch.h) is the
+// lane-batched counterpart of N Pipeline runs — it chunks identically
+// (kBlockSamples), drives each stream's exact pass sequence through the
+// batched backend kernels, and feeds one ISampleSink per stream, with
+// each stream's samples bit-identical to its solo Pipeline run.
 #pragma once
 
 #include <cstddef>

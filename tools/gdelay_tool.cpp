@@ -13,6 +13,10 @@
 //   gdelay_tool deskew [--lanes N] [--skew PS] [--seed S]
 //       Run the full bus-deskew flow and print the before/after report.
 //
+//   gdelay_tool --backends
+//       List the compute backends known to this build, their
+//       availability on this machine, and the active dispatch reason.
+//
 // All randomness is seeded; identical invocations produce identical
 // output.
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "ate/bus.h"
 #include "ate/controller.h"
+#include "backend/backend.h"
 #include "core/cal_io.h"
 #include "core/calibration.h"
 #include "core/channel.h"
@@ -54,21 +59,29 @@ struct Args {
                "  common : --rate GBPS --bits N --seed S\n"
                "  calibrate: --out FILE\n"
                "  plan   : --cal FILE --delay PS\n"
-               "  deskew : --lanes N --skew PS\n");
+               "  deskew : --lanes N --skew PS\n"
+               "  --backends : list compute backends and exit\n");
   std::exit(code);
+}
+
+[[noreturn]] void print_backends() {
+  std::fputs(backend::list_backends().c_str(), stdout);
+  std::exit(0);
 }
 
 Args parse(int argc, char** argv) {
   Args a;
   if (argc < 2) usage(2);
   a.command = argv[1];
+  if (a.command == "--backends") print_backends();
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) usage(2);
       return argv[++i];
     };
-    if (key == "--rate") a.rate_gbps = std::atof(value());
+    if (key == "--backends") print_backends();
+    else if (key == "--rate") a.rate_gbps = std::atof(value());
     else if (key == "--bits") a.bits = static_cast<std::size_t>(std::atoll(value()));
     else if (key == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(value()));
     else if (key == "--cal") a.cal_path = value();
