@@ -8,6 +8,7 @@
 //  3. Coarse+fine split vs cascading two fine lines for range (the paper
 //     rejects the cascade on jitter grounds, Section 3): we measure both.
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
 #include "core/calibration.h"
@@ -32,7 +33,8 @@ double added_tj(const sig::SynthResult& stim, const sig::Waveform& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("Ablations: stage count, Vctrl sharing, range strategy",
                 "design choices from Sections 2-3");
 
@@ -47,6 +49,7 @@ int main() {
   bench::section("1. Stage count sweep (3.2 Gbps PRBS7)");
   std::printf("  %7s %11s %12s %12s\n", "stages", "range(ps)",
               "latency(ps)", "addedTJ(ps)");
+  double range_n4 = 0.0, latency_n4 = 0.0, tj_n4 = 0.0;
   for (int n = 1; n <= 6; ++n) {
     core::FineDelayConfig fc;
     fc.n_stages = n;
@@ -55,12 +58,18 @@ int main() {
     line.set_vctrl(0.75);
     const auto out = line.process(stim.wf);
     const double lat = meas::measure_delay(stim.wf, out).mean_ps;
-    std::printf("  %7d %11.2f %12.2f %12.2f\n", n, range, lat,
-                added_tj(stim, out));
+    const double tj = added_tj(stim, out);
+    std::printf("  %7d %11.2f %12.2f %12.2f\n", n, range, lat, tj);
+    if (n == 4) {
+      range_n4 = range;
+      latency_n4 = lat;
+      tj_n4 = tj;
+    }
   }
   std::printf("  -> the paper's N=4 is the smallest count whose range\n"
               "     (~50 ps) covers the 33 ps coarse pitch with margin.\n");
 
+  double common_range = 0.0, half_step_ps = 0.0;
   bench::section("2. Common vs per-stage Vctrl (4 stages)");
   {
     core::FineDelayLine line(core::FineDelayConfig{}, rng.fork(40));
@@ -88,8 +97,11 @@ int main() {
     std::printf("  -> per-stage control adds no range, only granularity the\n"
                 "     12-bit DAC already provides: the paper's shared-Vctrl\n"
                 "     simplification costs nothing.\n");
+    common_range = common;
+    half_step_ps = half_step;
   }
 
+  double tj_coarse_fine = 0.0, tj_cascade = 0.0, range_cascade = 0.0;
   bench::section("3. Range strategy: coarse+fine vs cascaded fine lines");
   {
     // (a) The paper's choice: coarse block (2 active levels) + 4-stage fine.
@@ -115,6 +127,19 @@ int main() {
     std::printf("  -> every additional active stage adds noise/jitter; the\n"
                 "     passive coarse taps buy range almost for free, which\n"
                 "     is exactly the paper's Section-3 argument.\n");
+    tj_coarse_fine = added_tj(stim, out_a);
+    tj_cascade = added_tj(stim, out_b);
+    range_cascade = range_b;
   }
+
+  bench::write_figure_json(outdir, "ablation_stages",
+                           {{"range_ps_n4", range_n4},
+                            {"latency_ps_n4", latency_n4},
+                            {"added_tj_ps_n4", tj_n4},
+                            {"common_vctrl_range_ps", common_range},
+                            {"per_stage_half_step_ps", half_step_ps},
+                            {"added_tj_ps_coarse_fine", tj_coarse_fine},
+                            {"added_tj_ps_cascade12", tj_cascade},
+                            {"range_ps_cascade12", range_cascade}});
   return 0;
 }

@@ -1,0 +1,226 @@
+// Calibration-service throughput: the request engine of src/service/
+// under a deskew-planning workload, warm cache versus the
+// cold-calibrate-per-request baseline.
+//
+// The paper's end application is a request-serving loop: an ATE test
+// program repeatedly asks for per-channel delays while patterns run.
+// A full calibration sweep per request (the naive baseline) costs
+// n_vctrl_points + 4 waveform passes through the 7-stage channel model;
+// the service memoizes the curve per (device config, temperature point)
+// and the marginal request collapses to a curve inversion + DAC
+// quantization. This bench measures both regimes and the batching
+// machinery between them:
+//
+//   * warm requests/sec over a large plan/program workload, with
+//     p50/p99/p999 submit-to-completion latency (batch flush cadence)
+//   * cold requests/sec with the cache disabled (sweep per request)
+//   * kMeasure verification throughput through the BatchRunner groups
+//
+// Emits BENCH_service.json (schema 4) and exits nonzero if the warm
+// engine fails to clear 10x the cold baseline — the whole point of the
+// service layer.
+//
+// Usage: bench_service [--smoke] [--outdir DIR]
+//   --smoke   CI-sized workload (seconds, not minutes)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "service/config.h"
+#include "service/service.h"
+#include "util/thread_pool.h"
+
+using namespace gdelay;
+using service::CalRequest;
+using service::CalService;
+using service::RequestKind;
+using service::ServiceConfig;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+ServiceConfig bench_config(bool smoke) {
+  ServiceConfig cfg;
+  cfg.n_shards = 0;  // GDELAY_SERVICE_SHARDS (default 4)
+  cfg.board.n_channels = 4;
+  cfg.seed = 2008;
+  cfg.calibration.n_vctrl_points = smoke ? 5 : 9;
+  cfg.stim_bits = smoke ? 24 : 48;
+  cfg.batch_trigger = 1 << 30;  // flush cadence is driven by this bench
+  return cfg;
+}
+
+CalRequest make_req(std::uint64_t id, int channel, RequestKind kind,
+                    double target, double temp) {
+  CalRequest r;
+  r.id = id;
+  r.channel = channel;
+  r.kind = kind;
+  r.target_delay_ps = target;
+  r.temp_c = temp;
+  return r;
+}
+
+// The steady-state workload: plan/program requests spread over all
+// channels, two temperature points and a sweep of targets — every
+// request hits one of n_channels x 2 memoized curves.
+CalRequest workload_req(std::uint64_t i, int n_channels) {
+  const int channel = static_cast<int>(i) % n_channels;
+  const double temp = (i / 7) % 2 == 0 ? 0.0 : 12.0;
+  const double target = 5.0 + static_cast<double>(i % 100);
+  const RequestKind kind =
+      i % 4 == 3 ? RequestKind::kProgram : RequestKind::kPlan;
+  return make_req(i, channel, kind, target, temp);
+}
+
+double percentile(std::vector<double>& sorted_vals, double p) {
+  if (sorted_vals.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_vals.size() - 1));
+  return sorted_vals[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bench::banner(
+      "calibration-as-a-service: sharded, cache-backed request engine",
+      "ours (service layer over the paper's calibration flow, Fig. 7/9)");
+
+  const std::size_t n_warm = smoke ? 20'000 : 200'000;
+  const std::size_t n_cold = smoke ? 3 : 8;
+  const std::size_t n_measure = smoke ? 16 : 64;
+  const std::size_t flush_every = 1024;
+
+  ServiceConfig cfg = bench_config(smoke);
+  CalService svc(cfg);
+  std::printf("shards: %d   threads: %d   channels: %d   sweep points: %d\n",
+              svc.n_shards(), util::thread_count(), cfg.board.n_channels,
+              cfg.calibration.n_vctrl_points);
+
+  // ---- cold baseline: calibrate-from-scratch per request ----------------
+  bench::section("cold baseline (cache disabled, sweep per request)");
+  ServiceConfig cold_cfg = cfg;
+  cold_cfg.cache_enabled = false;
+  double cold_s = 0.0;
+  {
+    CalService cold(cold_cfg);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n_cold; ++i)
+      cold.submit(workload_req(i, cfg.board.n_channels));
+    cold.flush();
+    cold_s = seconds_since(t0);
+  }
+  const double rps_cold = static_cast<double>(n_cold) / cold_s;
+  std::printf("  %zu requests in %.3f s -> %.1f req/s\n", n_cold, cold_s,
+              rps_cold);
+
+  // ---- warm engine ------------------------------------------------------
+  bench::section("warm engine (memoized curves, batched flushes)");
+  // Populate the cache outside the timed region: steady state is the
+  // regime a long-running test program lives in.
+  for (std::uint64_t i = 0; i < 64; ++i)
+    svc.submit(workload_req(i, cfg.board.n_channels));
+  svc.drain();
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(n_warm);
+  std::vector<Clock::time_point> submit_t(flush_every);
+  const auto warm_t0 = Clock::now();
+  std::size_t submitted = 0;
+  while (submitted < n_warm) {
+    const std::size_t chunk = std::min(flush_every, n_warm - submitted);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      submit_t[i] = Clock::now();
+      svc.submit(workload_req(submitted + i, cfg.board.n_channels));
+    }
+    svc.flush();
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < chunk; ++i)
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(done - submit_t[i])
+              .count());
+    submitted += chunk;
+  }
+  const double warm_s = seconds_since(warm_t0);
+  const auto responses = svc.drain();
+  const double rps_warm = static_cast<double>(n_warm) / warm_s;
+
+  std::size_t hits = 0;
+  for (const auto& r : responses) hits += r.cache_hit ? 1 : 0;
+  const double hit_rate =
+      responses.empty() ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(responses.size());
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = percentile(latencies_us, 0.50);
+  const double p99 = percentile(latencies_us, 0.99);
+  const double p999 = percentile(latencies_us, 0.999);
+
+  std::printf("  %zu requests in %.3f s -> %.0f req/s\n", n_warm, warm_s,
+              rps_warm);
+  std::printf("  latency (flush cadence %zu): p50 %.1f us, p99 %.1f us, "
+              "p999 %.1f us\n",
+              flush_every, p50, p99, p999);
+  std::printf("  cache hit rate: %.4f (%zu/%zu)\n", hit_rate, hits,
+              responses.size());
+
+  // ---- measure throughput (BatchRunner verification groups) -------------
+  bench::section("kMeasure verification (BatchRunner groups of 4)");
+  const auto meas_t0 = Clock::now();
+  for (std::size_t i = 0; i < n_measure; ++i) {
+    CalRequest r = workload_req(i, cfg.board.n_channels);
+    r.kind = RequestKind::kMeasure;
+    svc.submit(r);
+  }
+  svc.flush();
+  const double meas_s = seconds_since(meas_t0);
+  svc.drain();
+  const double rps_measure = static_cast<double>(n_measure) / meas_s;
+  const auto stats = svc.stats();
+  std::printf("  %zu verifications in %.3f s -> %.1f req/s "
+              "(%llu batch groups)\n",
+              n_measure, meas_s, rps_measure,
+              static_cast<unsigned long long>(stats.measure_batches));
+
+  // ---- verdict ----------------------------------------------------------
+  bench::section("verdict");
+  const double speedup = rps_warm / rps_cold;
+  std::printf("  warm vs cold-per-request: %.1fx (gate: >= 10x)\n", speedup);
+  const bool pass = speedup >= 10.0;
+  std::printf("  %s\n", pass ? "PASS" : "FAIL");
+
+  bench::write_figure_json(
+      outdir, "service",
+      {{"requests_per_sec_warm", rps_warm},
+       {"requests_per_sec_cold", rps_cold},
+       {"speedup_warm_vs_cold", speedup},
+       {"latency_p50_us", p50},
+       {"latency_p99_us", p99},
+       {"latency_p999_us", p999},
+       {"cache_hit_rate", hit_rate},
+       {"measure_requests_per_sec", rps_measure},
+       {"measure_batch_groups",
+        static_cast<double>(stats.measure_batches)},
+       {"n_requests_warm", static_cast<double>(n_warm)},
+       {"n_shards", static_cast<double>(svc.n_shards())},
+       {"threads", static_cast<double>(util::thread_count())},
+       {"cache_misses", static_cast<double>(stats.cache.misses)}});
+
+  return pass ? 0 : 1;
+}

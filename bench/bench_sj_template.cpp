@@ -8,6 +8,9 @@
 // the paper's reference [1]) draw.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ate/cdr.h"
 #include "ate/dut.h"
@@ -54,7 +57,8 @@ std::size_t cdr_errors(const sig::SynthResult& stim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string outdir = bench::parse_outdir(&argc, argv);
   bench::banner("SJ jitter-tolerance template via Vctrl injection",
                 "(ours; Section 5 applied as in ref. [1])");
 
@@ -64,10 +68,12 @@ int main() {
   const auto bits = sig::prbs(7, 1024);
   const auto stim = sig::synthesize_nrz(bits, sc, nullptr);
 
+  double loop_bw_mhz = 0.0;
   {
     ate::CdrConfig cc;
     cc.ui_ps = stim.unit_interval_ps;
     cc.gain = kLoopGain;
+    loop_bw_mhz = 1000.0 * ate::CdrReceiver(cc).loop_bandwidth_ghz();
     std::printf("\n6.4 Gbps, UI %.2f ps, receiver setup/hold %.0f/%.0f ps,"
                 " CDR loop bandwidth ~ %.1f MHz\n",
                 stim.unit_interval_ps, kSetupHoldPs, kSetupHoldPs,
@@ -77,6 +83,8 @@ int main() {
   bench::section("Max tolerated Vctrl SJ amplitude vs frequency");
   std::printf("  %10s %14s %12s\n", "f_SJ(MHz)", "max ampl(Vpp)",
               "~SJ TJ(ps)");
+  std::vector<std::pair<std::string, double>> scalars;
+  double tol_min_vpp = 1.5, tol_low_vpp = 0.0, tol_high_vpp = 0.0;
   for (double f_mhz : {2.0, 6.0, 20.0, 60.0, 200.0, 600.0}) {
     double lo = 0.0, hi = 1.5;
     for (int iter = 0; iter < 7; ++iter) {
@@ -105,6 +113,12 @@ int main() {
             .tj_pp_ps;
     std::printf("  %10.0f %14.3f %12.1f%s\n", f_mhz, lo, tj,
                 lo >= 1.49 ? "  (injector range limit)" : "");
+    char key[48];
+    std::snprintf(key, sizeof key, "sj_tolerance_vpp_%.0fmhz", f_mhz);
+    scalars.emplace_back(key, lo);
+    tol_min_vpp = std::min(tol_min_vpp, lo);
+    if (f_mhz == 2.0) tol_low_vpp = lo;
+    if (f_mhz == 600.0) tol_high_vpp = lo;
   }
   std::printf(
       "\n  shape: tolerance is injector-limited below the CDR loop\n"
@@ -112,5 +126,13 @@ int main() {
       "  then drops to the untracked setup/hold margin above it — the\n"
       "  standard jitter-tolerance template, produced end-to-end with\n"
       "  the paper's Vctrl injection hookup.\n");
+
+  scalars.emplace_back("cdr_loop_bandwidth_mhz", loop_bw_mhz);
+  scalars.emplace_back("sj_tolerance_vpp_min", tol_min_vpp);
+  // The template's defining shape: tracked (low-f) tolerance must exceed
+  // untracked (high-f) tolerance.
+  scalars.emplace_back("template_corner_ratio",
+                       tol_high_vpp > 0.0 ? tol_low_vpp / tol_high_vpp : 0.0);
+  bench::write_figure_json(outdir, "sj_template", scalars);
   return 0;
 }

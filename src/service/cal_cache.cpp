@@ -1,0 +1,191 @@
+#include "service/cal_cache.h"
+
+#include <bit>
+
+namespace gdelay::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_f64(std::uint64_t h, double v) {
+  return fnv_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t hash_limiting(std::uint64_t h,
+                            const analog::LimitingBufferConfig& c) {
+  h = fnv_f64(h, c.input_gain);
+  h = fnv_f64(h, c.input_sat_v);
+  h = fnv_f64(h, c.f3db_ghz);
+  h = fnv_f64(h, c.output_gain);
+  h = fnv_f64(h, c.output_ref_v);
+  h = fnv_f64(h, c.out_swing_v);
+  h = fnv_f64(h, c.slew_v_per_ps);
+  h = fnv_f64(h, c.noise_sigma_v);
+  h = fnv_f64(h, c.noise_bandwidth_ghz);
+  return h;
+}
+
+std::uint64_t hash_vga(std::uint64_t h, const analog::VgaBufferConfig& c) {
+  h = fnv_f64(h, c.input_gain);
+  h = fnv_f64(h, c.input_sat_v);
+  h = fnv_f64(h, c.f3db_ghz);
+  h = fnv_f64(h, c.output_gain);
+  h = fnv_f64(h, c.output_ref_v);
+  h = fnv_f64(h, c.slew_v_per_ps);
+  h = fnv_f64(h, c.slew_tau_lin_ps);
+  h = fnv_f64(h, c.slew_leak_tau_ps);
+  h = fnv_f64(h, c.droop_frac);
+  h = fnv_f64(h, c.droop_tau_ps);
+  h = fnv_f64(h, c.amp_min_v);
+  h = fnv_f64(h, c.amp_max_v);
+  h = fnv_f64(h, c.vctrl_max_v);
+  h = fnv_f64(h, c.ctrl_shape);
+  h = fnv_f64(h, c.output_pole_f3db_ghz);
+  h = fnv_f64(h, c.noise_sigma_v);
+  h = fnv_f64(h, c.noise_bandwidth_ghz);
+  return h;
+}
+
+// SplitMix64 finalizer — turns the key fields into a well-mixed bucket
+// index even when they differ in only a few low bits.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t hash_channel_config(const core::ChannelConfig& cfg) {
+  std::uint64_t h = kFnvOffset;
+  for (double d : cfg.coarse.tap_delay_ps) h = fnv_f64(h, d);
+  for (double d : cfg.coarse.tap_error_ps) h = fnv_f64(h, d);
+  h = fnv_f64(h, cfg.coarse.loss_db_per_100ps);
+  h = fnv_f64(h, cfg.coarse.dispersion_f3db_ghz);
+  h = hash_limiting(h, cfg.coarse.fanout);
+  h = hash_limiting(h, cfg.coarse.mux);
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg.fine.n_stages));
+  h = hash_vga(h, cfg.fine.stage);
+  h = hash_limiting(h, cfg.fine.output_stage);
+  return h;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  std::uint64_t h = mix(k.config_hash);
+  h = mix(h ^ k.vctrl_range);
+  h = mix(h ^ static_cast<std::uint64_t>(k.n_vctrl_points));
+  h = mix(h ^ static_cast<std::uint64_t>(k.temp_point_mc));
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const core::ChannelCalibration> CalCache::get_or_calibrate(
+    const CacheKey& key, const Factory& factory) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      Entry e;
+      e.epoch = epoch_;
+      map_.emplace(key, e);  // claim the flight
+      ++stats_.misses;
+      break;
+    }
+    if (it->second.cal) {
+      ++stats_.hits;
+      return it->second.cal;
+    }
+    // Another requester is mid-sweep on this key: coalesce onto it.
+    ++stats_.coalesced;
+    ready_.wait(lk, [&] {
+      auto i = map_.find(key);
+      return i == map_.end() || i->second.cal != nullptr;
+    });
+    auto done = map_.find(key);
+    if (done != map_.end() && done->second.cal) return done->second.cal;
+    // The flight failed (factory threw) or was invalidated: loop and
+    // claim the sweep ourselves.
+  }
+
+  lk.unlock();
+  std::shared_ptr<const core::ChannelCalibration> result;
+  try {
+    result = std::make_shared<const core::ChannelCalibration>(factory());
+  } catch (...) {
+    lk.lock();
+    auto it = map_.find(key);
+    if (it != map_.end() && !it->second.cal) map_.erase(it);
+    ready_.notify_all();
+    throw;
+  }
+
+  lk.lock();
+  auto it = map_.find(key);
+  if (it != map_.end() && !it->second.cal) {
+    if (it->second.epoch == epoch_) {
+      it->second.cal = result;
+    } else {
+      // Invalidated while the sweep ran: serve the caller, drop the
+      // entry so later requests recalibrate against fresh state.
+      map_.erase(it);
+    }
+  }
+  ready_.notify_all();
+  return result;
+}
+
+std::shared_ptr<const core::ChannelCalibration> CalCache::lookup(
+    const CacheKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  return it->second.cal;
+}
+
+void CalCache::invalidate_config(std::uint64_t config_hash) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++epoch_;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.config_hash == config_hash && it->second.cal) {
+      it = map_.erase(it);
+      ++stats_.invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CalCache::invalidate_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++epoch_;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.cal) {
+      it = map_.erase(it);
+      ++stats_.invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t CalCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+CacheStats CalCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace gdelay::service

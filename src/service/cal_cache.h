@@ -1,0 +1,107 @@
+// Memoized calibration-curve cache with single-flight population.
+//
+// A calibration sweep is the expensive primitive of the whole system:
+// n_vctrl_points + 4 full waveform passes through a 7-stage channel,
+// milliseconds to seconds depending on the stimulus. The request engine
+// (service.h) never runs one per request; it memoizes the resulting
+// ChannelCalibration keyed by
+//
+//   (device-config hash, Vctrl range, sweep options, temperature point)
+//
+// where the hash covers every field of the drift-applied ChannelConfig —
+// so thermal drift (core/drift.h) invalidates *structurally*: a request
+// at a new temperature point maps to a different drifted config, hence a
+// different key, hence a miss; the stale curve stays usable for requests
+// still at its own temperature point. Explicit invalidation (a board
+// swap, a forced recal) is also provided.
+//
+// Population is single-flight: when K concurrent requests miss on the
+// same key, exactly one runs the sweep; the other K-1 block until the
+// entry is ready and share the result. The sweep itself is a pure
+// function of the key (clone-based, fork_noise() per sweep point), so
+// which requester wins the race never changes the bytes produced.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/calibration.h"
+#include "core/channel.h"
+
+namespace gdelay::service {
+
+/// Stable 64-bit hash over every numeric field of a ChannelConfig (FNV-1a
+/// over the IEEE-754 bit patterns, in declaration order). Two configs
+/// hash equal iff they are bitwise-equal field by field, so any drift or
+/// process-variation perturbation produces a fresh cache identity.
+std::uint64_t hash_channel_config(const core::ChannelConfig& cfg);
+
+struct CacheKey {
+  std::uint64_t config_hash = 0;   ///< hash_channel_config of the device.
+  std::uint64_t vctrl_range = 0;   ///< bit pattern of the Vctrl sweep max.
+  std::int32_t n_vctrl_points = 0; ///< sweep density (part of the result).
+  std::int64_t temp_point_mc = 0;  ///< temperature point, milli-degrees C.
+
+  bool operator==(const CacheKey& o) const {
+    return config_hash == o.config_hash && vctrl_range == o.vctrl_range &&
+           n_vctrl_points == o.n_vctrl_points &&
+           temp_point_mc == o.temp_point_mc;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;       ///< served from a ready entry
+  std::uint64_t misses = 0;     ///< triggered a sweep
+  std::uint64_t coalesced = 0;  ///< waited on another requester's sweep
+  std::uint64_t invalidated = 0;
+};
+
+class CalCache {
+ public:
+  using Factory = std::function<core::ChannelCalibration()>;
+
+  /// Returns the calibration for `key`, running `factory` to produce it
+  /// on a miss. Single-flight: concurrent callers with the same key run
+  /// the factory exactly once. If the factory throws, the in-flight
+  /// entry is removed (waiters retry the factory themselves — lowest
+  /// surviving caller wins) and the exception propagates.
+  std::shared_ptr<const core::ChannelCalibration> get_or_calibrate(
+      const CacheKey& key, const Factory& factory);
+
+  /// Ready entry for `key`, or nullptr (never blocks, never populates).
+  std::shared_ptr<const core::ChannelCalibration> lookup(
+      const CacheKey& key) const;
+
+  /// Drops every ready entry for the device config (all temperature
+  /// points) — the "board was swapped / recal forced" hammer. In-flight
+  /// sweeps are left to finish; their results are dropped on completion.
+  void invalidate_config(std::uint64_t config_hash);
+
+  /// Drops everything.
+  void invalidate_all();
+
+  std::size_t size() const;
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::ChannelCalibration> cal;  ///< null while in flight
+    std::uint64_t epoch = 0;  ///< invalidation epoch the sweep started in
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  CacheStats stats_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gdelay::service

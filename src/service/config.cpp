@@ -1,0 +1,50 @@
+#include "service/config.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gdelay::service {
+
+double DriftPolicy::temp_point_for(double temp_c) const {
+  if (recal_grid_c <= 0.0) return temp_c;
+  // Nearest grid multiple. Round half away from zero so the mapping is a
+  // pure function of the value (no banker's-rounding state).
+  const double q = temp_c / recal_grid_c;
+  const double r = q >= 0.0 ? static_cast<double>(
+                                  static_cast<long long>(q + 0.5))
+                            : static_cast<double>(
+                                  static_cast<long long>(q - 0.5));
+  return r * recal_grid_c;
+}
+
+namespace {
+
+// Resolved GDELAY_SERVICE_SHARDS, cached after the first read (0 = not
+// yet resolved; the env cannot legitimately resolve to 0). Write-once
+// read-many: the same pattern as the backend dispatcher's active-table
+// atomics, and allowlisted for audit rule R4 for the same reason — a
+// process-wide performance knob resolved once, never a result input.
+std::atomic<int> g_env_shards{0};
+
+int env_shards() {
+  int cached = g_env_shards.load(std::memory_order_acquire);
+  if (cached != 0) return cached;
+  int n = 4;
+  // Allowlisted for audit rule R2: like GDELAY_THREADS, the shard count
+  // changes how work is laid out, never what the responses contain.
+  if (const char* env = std::getenv("GDELAY_SERVICE_SHARDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) n = parsed;
+  }
+  g_env_shards.store(n, std::memory_order_release);
+  return n;
+}
+
+}  // namespace
+
+int resolve_shard_count(int requested) {
+  if (requested >= 1) return requested;
+  return env_shards();
+}
+
+}  // namespace gdelay::service

@@ -1,0 +1,74 @@
+// Configuration of the in-process calibration service (see service.h).
+//
+// The service is the scale-out counterpart of the per-stream compute
+// work of PRs 2-6: instead of making one deskew computation faster, it
+// serves millions of deskew/jitter-injection planning requests against a
+// fleet of board replicas, with the expensive calibration sweeps
+// memoized behind a drift-aware cache. Everything here is a plain value:
+// two services built from equal configs are bit-identical replicas.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/board.h"
+#include "core/calibration.h"
+#include "core/drift.h"
+
+namespace gdelay::service {
+
+/// When a cached calibration curve stops being trustworthy.
+///
+/// The drift model is the one bench_drift_recal exercises: buffer slew,
+/// amplitude and bandwidth move with temperature, dragging the
+/// delay-vs-Vctrl curve along, so a curve measured cold mis-programs a
+/// hot board. Rather than tracking a continuous temperature, requests
+/// quantize their reported temperature onto a grid of *temperature
+/// points*; a curve is valid exactly at its own point. The grid pitch is
+/// the recalibration threshold: by bench_drift_recal's measurement the
+/// stale-programming error stays inside the +/-5 ps channel budget for
+/// roughly ten degrees, so the default pitch keeps every request within
+/// half that of a calibrated point.
+struct DriftPolicy {
+  core::ThermalDrift drift{};
+  /// Temperature-point pitch, degrees C. Requests round to the nearest
+  /// multiple; each point gets (at most) one sweep per device config.
+  double recal_grid_c = 10.0;
+
+  /// The temperature point serving a request at `temp_c` (nearest grid
+  /// multiple — a pure function, so routing never depends on history).
+  double temp_point_for(double temp_c) const;
+};
+
+struct ServiceConfig {
+  /// Board replicas to shard requests over. 0 means "resolve from the
+  /// GDELAY_SERVICE_SHARDS environment variable, default 4".
+  int n_shards = 0;
+  /// The fleet hardware: every shard holds an identical replica of this
+  /// board, built from `seed` (clone discipline — replicas are
+  /// bit-identical regardless of the shard count).
+  core::DelayBoardConfig board{};
+  std::uint64_t seed = 2008;
+  /// Sweep options used to populate the calibration cache.
+  core::DelayCalibrator::Options calibration{};
+  /// Calibration stimulus: PRBS7 NRZ, synthesized once at construction.
+  double stim_rate_gbps = 3.2;
+  std::size_t stim_bits = 48;
+  DriftPolicy drift_policy{};
+  /// submit() auto-flushes once this many requests are pending.
+  std::size_t batch_trigger = 1024;
+  /// When false, every request calibrates from scratch (the
+  /// cold-per-request baseline bench_service compares against). The
+  /// responses are byte-identical either way — the cache is purely a
+  /// throughput lever.
+  bool cache_enabled = true;
+};
+
+/// Shard count actually used for a requested value: `requested` when
+/// >= 1, otherwise GDELAY_SERVICE_SHARDS (clamped to >= 1), otherwise 4.
+/// The environment read is cached on first use; like GDELAY_THREADS and
+/// GDELAY_BACKEND it is a reproducibility-neutral performance knob —
+/// responses are bit-identical at any shard count.
+int resolve_shard_count(int requested);
+
+}  // namespace gdelay::service

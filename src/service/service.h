@@ -1,0 +1,172 @@
+// Calibration-as-a-service: the sharded, cache-backed request engine.
+//
+// The paper's end application — per-channel deskew and jitter-injection
+// setup on an 8-channel ATE board — is a request-serving workload once
+// the calibration curves are memoized: a test program asks "give me
+// 70 ps on channel 3 at 40 C" millions of times, and only the first ask
+// per (device config, temperature point) has to pay for a sweep.
+// CalService is that engine, in-process:
+//
+//   * Session sharding. N identical DelayBoard replicas (clone-based,
+//     built from one seed — the PR 1 fork_noise() discipline), with
+//     deterministic request->shard routing by channel. Shards serialize
+//     board-state mutation (kProgram) against their own replica only, so
+//     programming traffic scales with the shard count.
+//   * Memoized calibration-curve cache (cal_cache.h), keyed by the
+//     drift-applied device config + Vctrl range + temperature point,
+//     populated through the existing DelayCalibrator sweep paths and
+//     invalidated by the thermal-drift model, with single-flight
+//     coalescing of concurrent misses.
+//   * Request batching. Pending kMeasure verifications coalesce into
+//     core::BatchRunner groups of four — one AVX2 lane group — and fan
+//     out on the global thread pool; plan/program requests batch into
+//     flat parallel_map spans.
+//   * An async completion queue: submit() returns immediately,
+//     completions accumulate in arrival-independent storage, and
+//     drain() yields them ordered by request id. submit_with_future()
+//     additionally hands back a std::future for point waits.
+//
+// Determinism contract (tests/test_service_determinism.cpp): a response
+// is a pure function of the request content and the service config.
+// Byte-identical transcripts for the same request set regardless of
+// arrival interleaving, shard count, GDELAY_THREADS, and cache
+// warm/cold state; bit-stable within a compute backend (across
+// backends the usual <=16 eps recursion envelope applies).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/board.h"
+#include "service/cal_cache.h"
+#include "service/config.h"
+#include "signal/synth.h"
+
+namespace gdelay::service {
+
+enum class RequestKind : std::uint8_t {
+  kPlan = 0,     ///< solve for (tap, DAC code); no board mutation
+  kProgram = 1,  ///< plan + apply to the serving shard's board replica
+  kMeasure = 2,  ///< plan + verify: run the programmed clone, measure
+};
+
+struct CalRequest {
+  std::uint64_t id = 0;  ///< client-assigned; orders the drained output
+  int channel = 0;       ///< board channel the request targets
+  RequestKind kind = RequestKind::kPlan;
+  double target_delay_ps = 0.0;  ///< relative to the channel minimum
+  double temp_c = 0.0;           ///< reported board temperature offset
+};
+
+struct CalResponse {
+  std::uint64_t id = 0;
+  int channel = 0;
+  RequestKind kind = RequestKind::kPlan;
+  double temp_point_c = 0.0;  ///< temperature point that served the curve
+  core::DelaySetting setting{};
+  double measured_delay_ps = 0.0;  ///< kMeasure only (else 0)
+  /// True when the curve came from a ready cache entry. Diagnostic only:
+  /// NOT part of the determinism transcript (it legitimately differs
+  /// between a cold and a warm pass while every other field is
+  /// byte-identical).
+  bool cache_hit = false;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t measure_batches = 0;  ///< BatchRunner groups dispatched
+  CacheStats cache;
+};
+
+class CalService {
+ public:
+  explicit CalService(const ServiceConfig& cfg);
+
+  int n_shards() const { return static_cast<int>(shards_.size()); }
+  /// Deterministic routing: channel modulo shard count.
+  int shard_of(const CalRequest& req) const;
+
+  /// Enqueues a request. Thread-safe. Auto-flushes once
+  /// config().batch_trigger requests are pending.
+  void submit(const CalRequest& req);
+
+  /// submit() plus a future that becomes ready when the request's batch
+  /// is flushed. The response still also lands in the completion queue.
+  std::future<CalResponse> submit_with_future(const CalRequest& req);
+
+  /// Processes every pending request: resolves the distinct calibration
+  /// keys (single-flight, coalesced), plans all requests, dispatches
+  /// kMeasure verifications through BatchRunner groups of four on the
+  /// thread pool, applies kProgram settings to the shard replicas, and
+  /// pushes every response into the completion queue.
+  void flush();
+
+  /// flush() + all completed responses so far, sorted by request id
+  /// (ties by submission order); clears the completion queue.
+  std::vector<CalResponse> drain();
+
+  /// Completed responses waiting in the queue (diagnostic).
+  std::size_t completed_pending() const;
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const { return cfg_; }
+  const core::DelayBoard& shard_board(int shard) const;
+  CalCache& cache() { return cache_; }
+
+  /// The cache key serving (channel, temp_c) — exposed so callers can
+  /// warm, probe, or invalidate specific entries.
+  CacheKey key_for(int channel, double temp_c) const;
+
+ private:
+  struct Pending {
+    CalRequest req;
+    std::uint64_t seq = 0;  ///< global submission sequence (tie-break)
+    std::unique_ptr<std::promise<CalResponse>> promise;
+  };
+
+  struct Shard {
+    explicit Shard(core::DelayBoard b) : board(std::move(b)) {}
+    core::DelayBoard board;
+    std::vector<Pending> pending;
+    std::mutex mu;
+  };
+
+  void enqueue(Pending p);
+  core::ChannelCalibration run_sweep(int channel, double temp_point) const;
+  std::shared_ptr<const core::ChannelCalibration> curve_for(
+      const CacheKey& key, int channel, double temp_point, bool* hit);
+  CalResponse respond(const CalRequest& req,
+                      const core::ChannelCalibration& cal,
+                      double temp_point, bool hit) const;
+
+  ServiceConfig cfg_;
+  sig::SynthResult stimulus_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  CalCache cache_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_total_ = 0;
+
+  std::mutex flush_mu_;  ///< serializes concurrent flush() calls
+
+  mutable std::mutex done_mu_;
+  std::vector<CalResponse> done_;
+  std::vector<std::uint64_t> done_seq_;  ///< submission seq per response
+
+  /// key_for() memo: hashing a drift-applied config is ~100x cheaper than
+  /// a sweep but still the hottest per-request cost; (channel, temp point)
+  /// fully determines the key for a fixed fleet, so memoize it.
+  mutable std::mutex key_mu_;
+  mutable std::map<std::pair<int, std::int64_t>, CacheKey> key_memo_;
+};
+
+}  // namespace gdelay::service

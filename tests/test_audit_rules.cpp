@@ -105,13 +105,29 @@ TEST(AuditR2, CleanOnSeededRng) {
 }
 
 TEST(AuditR2, GetenvAllowedOnlyInDesignatedOwners) {
-  // thread_pool owns GDELAY_THREADS, backend/dispatch owns GDELAY_BACKEND;
-  // everything else must take configuration explicitly.
+  // thread_pool owns GDELAY_THREADS, backend/dispatch owns GDELAY_BACKEND,
+  // service/config owns GDELAY_SERVICE_SHARDS; everything else must take
+  // configuration explicitly.
   const std::string src = "const char* f() { return std::getenv(\"X\"); }";
   EXPECT_TRUE(scan_source("util/thread_pool.cpp", src).empty());
   EXPECT_TRUE(scan_source("backend/dispatch.cpp", src).empty());
+  EXPECT_TRUE(scan_source("service/config.cpp", src).empty());
   auto fs = scan_source("core/x.cpp", src);
   ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"}) << render(fs);
+}
+
+TEST(AuditR2, ServiceRequestPathsAreNotEnvExempt) {
+  // The R2 waiver stops at the service's config resolution: an env read
+  // in the request-handling or cache paths could fork response content
+  // per host, which the determinism contract forbids.
+  const std::string src = "const char* f() { return std::getenv(\"X\"); }";
+  for (const char* label :
+       {"service/service.cpp", "service/cal_cache.cpp", "service/service.h"}) {
+    auto fs = scan_source(label, src);
+    ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"})
+        << label << "\n"
+        << render(fs);
+  }
 }
 
 TEST(AuditR2, InlineWaiverSilences) {
@@ -224,6 +240,21 @@ TEST(AuditR4, InlineWaiverSilences) {
       "// gdelay-audit: allow(R4) guarded by pool mutex, test-only knob\n"
       "int g_hook_count = 0;\n");
   EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR4, ServiceConfigAllowedServicePathsAreNot) {
+  // service/config holds the write-once resolved shard count (the same
+  // pattern as backend/dispatch's active-table atomics); the request
+  // dispatch and cache paths get no such exemption — global mutable
+  // state there would be an arrival-order dependence.
+  const std::string src = "namespace gdelay {\nint g_state = 0;\n}\n";
+  EXPECT_TRUE(scan_source("service/config.cpp", src).empty());
+  for (const char* label : {"service/service.cpp", "service/cal_cache.cpp"}) {
+    auto fs = scan_source(label, src);
+    ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R4"})
+        << label << "\n"
+        << render(fs);
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,370 @@
+// Functional tests for the calibration service layer (src/service/):
+// cache hit/miss/coalesce accounting, single-flight population,
+// drift-driven and explicit invalidation, plan parity with the direct
+// calibrator path, futures, auto-flush, and shard programming.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/channel.h"
+#include "service/cal_cache.h"
+#include "service/config.h"
+#include "service/service.h"
+#include "signal/pattern.h"
+#include "signal/synth.h"
+#include "util/rng.h"
+
+namespace gd = gdelay;
+namespace core = gd::core;
+namespace sig = gd::sig;
+using gd::service::CacheKey;
+using gd::service::CalCache;
+using gd::service::CalRequest;
+using gd::service::CalResponse;
+using gd::service::CalService;
+using gd::service::RequestKind;
+using gd::service::ServiceConfig;
+
+namespace {
+
+// Small-but-real service config: 2 channels, short PRBS stimulus, sparse
+// sweep. Each sweep is n_vctrl_points + 4 waveform passes, so keep both
+// small — these tests exercise the machinery, not the physics.
+ServiceConfig small_config(int n_shards = 1) {
+  ServiceConfig cfg;
+  cfg.n_shards = n_shards;
+  cfg.board.n_channels = 2;
+  cfg.seed = 77;
+  cfg.calibration.n_vctrl_points = 3;
+  cfg.stim_bits = 24;
+  cfg.batch_trigger = 1 << 20;  // manual flush unless a test lowers it
+  return cfg;
+}
+
+CalRequest make_req(std::uint64_t id, int channel, RequestKind kind,
+                    double target, double temp = 0.0) {
+  CalRequest r;
+  r.id = id;
+  r.channel = channel;
+  r.kind = kind;
+  r.target_delay_ps = target;
+  r.temp_c = temp;
+  return r;
+}
+
+core::ChannelCalibration tiny_cal(double base) {
+  core::ChannelCalibration cal;
+  cal.fine_curve =
+      gd::util::Curve{{0.0, 0.5, 1.0}, {0.0, 10.0, 20.0}};
+  cal.tap_offset_ps = {0.0, 35.0, 70.0, 105.0};
+  cal.base_latency_ps = base;
+  return cal;
+}
+
+}  // namespace
+
+TEST(ServiceCache, HitMissAccounting) {
+  CalCache cache;
+  CacheKey key;
+  key.config_hash = 1;
+  int calls = 0;
+  auto factory = [&] {
+    ++calls;
+    return tiny_cal(100.0);
+  };
+  auto a = cache.get_or_calibrate(key, factory);
+  auto b = cache.get_or_calibrate(key, factory);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  CacheKey other = key;
+  other.temp_point_mc = 10000;
+  cache.get_or_calibrate(other, factory);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServiceCache, SingleFlightCoalescesConcurrentMisses) {
+  CalCache cache;
+  CacheKey key;
+  key.config_hash = 42;
+  std::atomic<int> calls{0};
+  std::atomic<int> waiting{0};
+  auto factory = [&] {
+    ++calls;
+    // Hold the flight open long enough for the other threads to arrive
+    // and block on it.
+    while (waiting.load() < 3) std::this_thread::yield();
+    return tiny_cal(50.0);
+  };
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const core::ChannelCalibration>> got(4);
+  threads.emplace_back([&] { got[0] = cache.get_or_calibrate(key, factory); });
+  for (int i = 1; i < 4; ++i)
+    threads.emplace_back([&, i] {
+      // Count ourselves as arrived only once the first flight is claimed.
+      while (cache.size() == 0) std::this_thread::yield();
+      ++waiting;
+      got[static_cast<std::size_t>(i)] = cache.get_or_calibrate(key, factory);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(calls.load(), 1);
+  for (const auto& g : got) EXPECT_EQ(g.get(), got[0].get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().coalesced + cache.stats().hits, 3u);
+}
+
+TEST(ServiceCache, InvalidateConfigDropsAllTemperaturePoints) {
+  CalCache cache;
+  auto factory = [] { return tiny_cal(10.0); };
+  CacheKey a;
+  a.config_hash = 7;
+  a.temp_point_mc = 0;
+  CacheKey b = a;
+  b.temp_point_mc = 10000;
+  CacheKey other;
+  other.config_hash = 8;
+  cache.get_or_calibrate(a, factory);
+  cache.get_or_calibrate(b, factory);
+  cache.get_or_calibrate(other, factory);
+  cache.invalidate_config(7);
+  EXPECT_EQ(cache.lookup(a), nullptr);
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(other), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+  // A re-request sweeps again.
+  cache.get_or_calibrate(a, factory);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(ServiceCache, InvalidationDuringFlightDropsTheResult) {
+  CalCache cache;
+  CacheKey key;
+  key.config_hash = 9;
+  std::atomic<bool> in_factory{false};
+  std::atomic<bool> invalidated{false};
+  auto slow_factory = [&] {
+    in_factory = true;
+    while (!invalidated.load()) std::this_thread::yield();
+    return tiny_cal(1.0);
+  };
+  std::thread flight([&] {
+    auto r = cache.get_or_calibrate(key, slow_factory);
+    // The caller is still served its own result...
+    EXPECT_NE(r, nullptr);
+  });
+  while (!in_factory.load()) std::this_thread::yield();
+  cache.invalidate_all();
+  invalidated = true;
+  flight.join();
+  // ...but the epoch mismatch kept it out of the cache.
+  EXPECT_EQ(cache.lookup(key), nullptr);
+}
+
+TEST(ServiceCache, FactoryExceptionReleasesTheFlight) {
+  CalCache cache;
+  CacheKey key;
+  key.config_hash = 11;
+  EXPECT_THROW(cache.get_or_calibrate(
+                   key, []() -> core::ChannelCalibration {
+                     throw std::runtime_error("sweep failed");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is claimable again.
+  auto r = cache.get_or_calibrate(key, [] { return tiny_cal(2.0); });
+  EXPECT_NE(r, nullptr);
+}
+
+TEST(ServiceCache, ConfigHashSeesEveryFieldPerturbation) {
+  const core::ChannelConfig nominal = core::ChannelConfig::prototype();
+  const std::uint64_t h0 = gd::service::hash_channel_config(nominal);
+  EXPECT_EQ(h0, gd::service::hash_channel_config(nominal));
+
+  core::ChannelConfig c = nominal;
+  c.fine.stage.slew_v_per_ps *= 1.0 + 1e-12;
+  EXPECT_NE(gd::service::hash_channel_config(c), h0);
+  c = nominal;
+  c.coarse.tap_error_ps[2] += 1e-9;
+  EXPECT_NE(gd::service::hash_channel_config(c), h0);
+  c = nominal;
+  c.fine.output_stage.f3db_ghz += 1e-9;
+  EXPECT_NE(gd::service::hash_channel_config(c), h0);
+}
+
+TEST(Service, RequestsShareOneSweepPerKey) {
+  CalService svc(small_config());
+  for (std::uint64_t i = 0; i < 8; ++i)
+    svc.submit(make_req(i, 0, RequestKind::kPlan, 10.0 + 5.0 * double(i)));
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), 8u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);  // one key -> one sweep
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.flushes, 1u);
+  // Second wave on the same key: pure hit.
+  svc.submit(make_req(100, 0, RequestKind::kPlan, 42.0));
+  auto warm = svc.drain();
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_TRUE(warm[0].cache_hit);
+  EXPECT_EQ(svc.stats().cache.misses, 1u);
+}
+
+TEST(Service, TemperatureQuantizesOntoRecalGrid) {
+  ServiceConfig cfg = small_config();
+  EXPECT_DOUBLE_EQ(cfg.drift_policy.temp_point_for(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.drift_policy.temp_point_for(7.0), 10.0);
+  EXPECT_DOUBLE_EQ(cfg.drift_policy.temp_point_for(-7.0), -10.0);
+  EXPECT_DOUBLE_EQ(cfg.drift_policy.temp_point_for(15.0), 20.0);
+
+  CalService svc(cfg);
+  // 3 C and 4 C share the 0 C point; 8 C goes to the 10 C point.
+  svc.submit(make_req(0, 0, RequestKind::kPlan, 20.0, 3.0));
+  svc.submit(make_req(1, 0, RequestKind::kPlan, 20.0, 4.0));
+  svc.submit(make_req(2, 0, RequestKind::kPlan, 20.0, 8.0));
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_DOUBLE_EQ(responses[0].temp_point_c, 0.0);
+  EXPECT_DOUBLE_EQ(responses[1].temp_point_c, 0.0);
+  EXPECT_DOUBLE_EQ(responses[2].temp_point_c, 10.0);
+  EXPECT_EQ(svc.stats().cache.misses, 2u);
+  // The drifted keys really are distinct cache identities.
+  EXPECT_FALSE(svc.key_for(0, 3.0) == svc.key_for(0, 8.0));
+  EXPECT_TRUE(svc.key_for(0, 3.0) == svc.key_for(0, 4.0));
+}
+
+TEST(Service, PlanMatchesDirectCalibratorPath) {
+  ServiceConfig cfg = small_config();
+  CalService svc(cfg);
+  svc.submit(make_req(0, 1, RequestKind::kPlan, 55.0));
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), 1u);
+
+  // Rebuild the exact sweep the service ran: same drift-applied config,
+  // same construction RNG discipline, same stimulus, same options.
+  sig::SynthConfig sc;
+  sc.rate_gbps = cfg.stim_rate_gbps;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, cfg.stim_bits), sc);
+  const core::ChannelConfig base = svc.shard_board(0).channel(1).config();
+  const core::ChannelConfig hot = cfg.drift_policy.drift.apply(base, 0.0);
+  core::VariableDelayChannel dev(hot,
+                                 gd::util::Rng(cfg.seed ^ 0xca11b8a7edULL)
+                                     .fork(1));
+  const auto cal =
+      core::DelayCalibrator(cfg.calibration).calibrate(dev, stim.wf);
+  const core::DelaySetting direct = cal.plan(55.0);
+
+  EXPECT_EQ(responses[0].setting.tap, direct.tap);
+  EXPECT_EQ(responses[0].setting.dac_code, direct.dac_code);
+  EXPECT_EQ(std::memcmp(&responses[0].setting.vctrl_v, &direct.vctrl_v,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&responses[0].setting.predicted_delay_ps,
+                        &direct.predicted_delay_ps, sizeof(double)),
+            0);
+}
+
+TEST(Service, FutureDeliversTheResponse) {
+  CalService svc(small_config());
+  std::future<CalResponse> f =
+      svc.submit_with_future(make_req(7, 0, RequestKind::kPlan, 30.0));
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::timeout);
+  svc.flush();
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  const CalResponse r = f.get();
+  EXPECT_EQ(r.id, 7u);
+  // The response also lands in the completion queue.
+  auto drained = svc.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].id, 7u);
+  EXPECT_EQ(drained[0].setting.dac_code, r.setting.dac_code);
+}
+
+TEST(Service, AutoFlushAtBatchTrigger) {
+  ServiceConfig cfg = small_config();
+  cfg.batch_trigger = 4;
+  CalService svc(cfg);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    svc.submit(make_req(i, 0, RequestKind::kPlan, 10.0));
+  EXPECT_EQ(svc.completed_pending(), 0u);
+  svc.submit(make_req(3, 0, RequestKind::kPlan, 10.0));
+  EXPECT_EQ(svc.completed_pending(), 4u);
+  EXPECT_EQ(svc.stats().flushes, 1u);
+}
+
+TEST(Service, ProgramAppliesToTheServingShardOnly) {
+  ServiceConfig cfg = small_config(2);
+  CalService svc(cfg);
+  ASSERT_EQ(svc.n_shards(), 2);
+  CalRequest req = make_req(0, 1, RequestKind::kProgram, 60.0);
+  const int serving = svc.shard_of(req);
+  const int other = 1 - serving;
+  svc.submit(req);
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  const auto& setting = responses[0].setting;
+  EXPECT_EQ(svc.shard_board(serving).channel(1).selected_tap(), setting.tap);
+  EXPECT_DOUBLE_EQ(svc.shard_board(serving).channel(1).vctrl(),
+                   setting.vctrl_v);
+  // The non-serving replica is untouched (still at power-on defaults).
+  EXPECT_EQ(svc.shard_board(other).channel(1).selected_tap(), 0);
+}
+
+TEST(Service, MeasureVerifiesThePlannedDelay) {
+  ServiceConfig cfg = small_config();
+  // The sparse 3-point sweep keeps the other tests fast but its linear
+  // interpolation misses the curve's bow by several ps; verification
+  // accuracy needs a realistic sweep density.
+  cfg.calibration.n_vctrl_points = 9;
+  CalService svc(cfg);
+  svc.submit(make_req(0, 0, RequestKind::kMeasure, 50.0));
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(svc.stats().measure_batches, 1u);
+  // The verification clone runs with its own noise stream, so a couple
+  // of ps of noise-driven spread around the plan is legitimate; gross
+  // disagreement means the wrong curve served the request.
+  EXPECT_NEAR(responses[0].measured_delay_ps,
+              responses[0].setting.predicted_delay_ps, 5.0);
+}
+
+TEST(Service, ShardRoutingIsChannelModulo) {
+  CalService svc(small_config(4));
+  for (int ch = 0; ch < 2; ++ch) {
+    CalRequest r = make_req(0, ch, RequestKind::kPlan, 0.0);
+    EXPECT_EQ(svc.shard_of(r), ch % 4);
+  }
+  EXPECT_EQ(gd::service::resolve_shard_count(3), 3);
+  EXPECT_GE(gd::service::resolve_shard_count(0), 1);
+}
+
+// Small concurrent smoke for the TSan CI leg: several submitter threads,
+// concurrent flushes, one drain. One cache key keeps it fast.
+TEST(ServiceConcurrency, ParallelSubmitAndFlush) {
+  ServiceConfig cfg = small_config(2);
+  cfg.batch_trigger = 8;
+  CalService svc(cfg);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i)
+        svc.submit(make_req(static_cast<std::uint64_t>(t) * kPer + i, 0,
+                            RequestKind::kPlan, 10.0 + double(i)));
+    });
+  for (auto& t : threads) t.join();
+  auto responses = svc.drain();
+  ASSERT_EQ(responses.size(), kThreads * kPer);
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    EXPECT_EQ(responses[i].id, i);  // drain orders by id
+  EXPECT_EQ(svc.stats().cache.misses, 1u);
+}

@@ -1,0 +1,183 @@
+// The service determinism contract, enforced byte-for-byte.
+//
+// A CalService response is a pure function of the request content and
+// the service config. This suite serializes response transcripts
+// (everything except the diagnostic cache_hit flag) and asserts byte
+// identity across every axis the engine is allowed to vary on:
+//
+//   * arrival order        (forward / reversed / interleaved submission)
+//   * shard count          ({1, 2, 4, 8} replicas)
+//   * thread count         (GDELAY_THREADS equivalent: 1 vs 4 workers)
+//   * cache state          (cold, warm, and cache-disabled per-request)
+//   * compute backend      (bit-stable within each usable backend;
+//                           across backends the one-pole recursion's
+//                           <=16 eps envelope applies, checked loosely)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "service/config.h"
+#include "service/service.h"
+#include "util/thread_pool.h"
+
+namespace gd = gdelay;
+using gd::service::CalRequest;
+using gd::service::CalResponse;
+using gd::service::CalService;
+using gd::service::RequestKind;
+using gd::service::ServiceConfig;
+
+namespace {
+
+ServiceConfig base_config(int n_shards) {
+  ServiceConfig cfg;
+  cfg.n_shards = n_shards;
+  cfg.board.n_channels = 2;
+  cfg.seed = 314;
+  cfg.calibration.n_vctrl_points = 3;
+  cfg.stim_bits = 24;
+  cfg.batch_trigger = 1 << 20;
+  return cfg;
+}
+
+// A mixed workload: both channels, two temperature points (so two cache
+// keys per channel), all three request kinds, duplicate targets.
+std::vector<CalRequest> workload() {
+  std::vector<CalRequest> reqs;
+  const double temps[2] = {0.0, 12.0};
+  std::uint64_t id = 0;
+  for (int ch = 0; ch < 2; ++ch) {
+    for (double t : temps) {
+      for (double target : {15.0, 60.0, 15.0}) {
+        CalRequest r;
+        r.id = id++;
+        r.channel = ch;
+        r.kind = id % 3 == 0 ? RequestKind::kMeasure
+                             : (id % 3 == 1 ? RequestKind::kPlan
+                                            : RequestKind::kProgram);
+        r.target_delay_ps = target;
+        r.temp_c = t;
+        reqs.push_back(r);
+      }
+    }
+  }
+  return reqs;
+}
+
+void append_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+// Transcript bytes for one response: every field except cache_hit (a
+// diagnostic that legitimately differs between a cold and a warm pass).
+std::string transcript(const std::vector<CalResponse>& responses) {
+  std::string out;
+  for (const CalResponse& r : responses) {
+    append_bytes(out, &r.id, sizeof(r.id));
+    append_bytes(out, &r.channel, sizeof(r.channel));
+    const auto kind = static_cast<std::uint8_t>(r.kind);
+    append_bytes(out, &kind, sizeof(kind));
+    append_bytes(out, &r.temp_point_c, sizeof(r.temp_point_c));
+    append_bytes(out, &r.setting.tap, sizeof(r.setting.tap));
+    append_bytes(out, &r.setting.dac_code, sizeof(r.setting.dac_code));
+    append_bytes(out, &r.setting.vctrl_v, sizeof(r.setting.vctrl_v));
+    append_bytes(out, &r.setting.predicted_delay_ps,
+                 sizeof(r.setting.predicted_delay_ps));
+    append_bytes(out, &r.measured_delay_ps, sizeof(r.measured_delay_ps));
+  }
+  return out;
+}
+
+enum class Order { kForward, kReversed, kInterleaved };
+
+std::string run_transcript(int n_shards, Order order, bool cache_enabled,
+                           bool prewarm = false) {
+  ServiceConfig cfg = base_config(n_shards);
+  cfg.cache_enabled = cache_enabled;
+  CalService svc(cfg);
+  std::vector<CalRequest> reqs = workload();
+  if (prewarm) {
+    // Populate every cache entry, then throw those responses away: the
+    // transcript pass below runs fully warm.
+    for (const CalRequest& r : reqs) svc.submit(r);
+    svc.drain();
+  }
+  switch (order) {
+    case Order::kForward:
+      break;
+    case Order::kReversed:
+      std::reverse(reqs.begin(), reqs.end());
+      break;
+    case Order::kInterleaved: {
+      // Odd ids first, then even — a stable shuffle with no RNG.
+      std::stable_partition(reqs.begin(), reqs.end(),
+                            [](const CalRequest& r) { return r.id % 2 == 1; });
+      break;
+    }
+  }
+  for (const CalRequest& r : reqs) svc.submit(r);
+  return transcript(svc.drain());
+}
+
+}  // namespace
+
+TEST(ServiceDeterminism, ArrivalOrderInvariance) {
+  const std::string forward = run_transcript(2, Order::kForward, true);
+  EXPECT_EQ(run_transcript(2, Order::kReversed, true), forward);
+  EXPECT_EQ(run_transcript(2, Order::kInterleaved, true), forward);
+}
+
+TEST(ServiceDeterminism, ShardCountInvariance) {
+  const std::string one = run_transcript(1, Order::kForward, true);
+  for (int shards : {2, 4, 8}) {
+    EXPECT_EQ(run_transcript(shards, Order::kForward, true), one)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ServiceDeterminism, ThreadCountInvariance) {
+  const int original = gd::util::thread_count();
+  gd::util::set_thread_count(1);
+  const std::string serial = run_transcript(4, Order::kForward, true);
+  gd::util::set_thread_count(4);
+  const std::string parallel = run_transcript(4, Order::kInterleaved, true);
+  gd::util::set_thread_count(original);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ServiceDeterminism, CacheStateInvariance) {
+  // Cold cache, warm cache, and no cache at all: identical bytes. The
+  // cache is purely a throughput lever.
+  const std::string cold = run_transcript(2, Order::kForward, true);
+  const std::string warm =
+      run_transcript(2, Order::kForward, true, /*prewarm=*/true);
+  const std::string uncached = run_transcript(2, Order::kForward, false);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(uncached, cold);
+}
+
+TEST(ServiceDeterminism, RepeatRunsAreByteIdentical) {
+  EXPECT_EQ(run_transcript(4, Order::kForward, true),
+            run_transcript(4, Order::kForward, true));
+}
+
+TEST(ServiceDeterminism, PerBackendBitStability) {
+  // Within each usable backend the full cross-axis contract holds;
+  // across backends the recursion envelope allows tiny drift, so
+  // transcripts are compared per-backend only.
+  std::vector<std::string> backends = {"scalar"};
+  if (gd::backend::cpu_supports_avx2()) backends.push_back("avx2");
+  for (const std::string& name : backends) {
+    gd::backend::select(name.c_str());
+    const std::string ref = run_transcript(1, Order::kForward, true);
+    EXPECT_EQ(run_transcript(4, Order::kReversed, true), ref)
+        << "backend=" << name;
+    EXPECT_EQ(run_transcript(2, Order::kForward, false), ref)
+        << "backend=" << name;
+  }
+  gd::backend::select("auto");
+}

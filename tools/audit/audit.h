@@ -72,16 +72,25 @@ struct Options {
   /// R1 does not apply here (this is where the det_* kernels live).
   std::string fastmath_suffix = "util/fastmath.h";
   /// Labels containing one of these may call getenv (R2): thread_pool
-  /// owns GDELAY_THREADS, the backend dispatcher owns GDELAY_BACKEND —
-  /// both are reproducibility-neutral performance knobs.
+  /// owns GDELAY_THREADS, the backend dispatcher owns GDELAY_BACKEND,
+  /// and the service config owns GDELAY_SERVICE_SHARDS — all three are
+  /// reproducibility-neutral performance knobs (responses/results are
+  /// bit-identical at any setting). The service's request-handling paths
+  /// (service/service, service/cal_cache) are deliberately NOT listed:
+  /// an env read there could fork response content per host.
   std::vector<std::string> getenv_allowed = {"util/thread_pool",
-                                             "backend/dispatch"};
+                                             "backend/dispatch",
+                                             "service/config"};
   /// R5 applies to labels starting with one of these prefixes.
   std::vector<std::string> analog_prefixes = {"analog/", "signal/", "core/"};
   /// Labels containing one of these may hold namespace-scope mutable
-  /// state (R4). Only the backend dispatcher's write-once active-table
-  /// atomics qualify today; keep this list short.
-  std::vector<std::string> mutable_state_allowlist = {"backend/dispatch"};
+  /// state (R4): the backend dispatcher's write-once active-table
+  /// atomics, and the service config's once-resolved shard-count cache
+  /// (same write-once pattern, same justification). The service request
+  /// paths stay OUT of this list — dispatch state there would be an
+  /// arrival-order dependence. Keep this list short.
+  std::vector<std::string> mutable_state_allowlist = {"backend/dispatch",
+                                                      "service/config"};
   /// R7: labels starting with (or containing a path segment equal to)
   /// this prefix may use SIMD intrinsics.
   std::string simd_prefix = "backend/";

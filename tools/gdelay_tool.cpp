@@ -17,6 +17,10 @@
 //       List the compute backends known to this build, their
 //       availability on this machine, and the active dispatch reason.
 //
+//   gdelay_tool --version
+//       Print the git revision this binary was built from and the
+//       BENCH_*.json schema version it writes/understands.
+//
 // All randomness is seeded; identical invocations produce identical
 // output.
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include "ate/bus.h"
 #include "ate/controller.h"
 #include "backend/backend.h"
+#include "bench/common.h"
 #include "core/cal_io.h"
 #include "core/calibration.h"
 #include "core/channel.h"
@@ -60,7 +65,8 @@ struct Args {
                "  calibrate: --out FILE\n"
                "  plan   : --cal FILE --delay PS\n"
                "  deskew : --lanes N --skew PS\n"
-               "  --backends : list compute backends and exit\n");
+               "  --backends : list compute backends and exit\n"
+               "  --version  : print git revision + BENCH schema and exit\n");
   std::exit(code);
 }
 
@@ -69,11 +75,18 @@ struct Args {
   std::exit(0);
 }
 
+[[noreturn]] void print_version() {
+  std::printf("gdelay_tool %s (bench json schema %d)\n", GDELAY_GIT_REV,
+              bench::kBenchJsonSchema);
+  std::exit(0);
+}
+
 Args parse(int argc, char** argv) {
   Args a;
   if (argc < 2) usage(2);
   a.command = argv[1];
   if (a.command == "--backends") print_backends();
+  if (a.command == "--version") print_version();
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
     auto value = [&]() -> const char* {
