@@ -135,7 +135,14 @@ void select(const char* name) {
     throw std::invalid_argument(std::string("backend: unknown name '") +
                                 name + "'");
   }
+  // select() is an explicit, documented re-selection API (tests and the
+  // CLI switch backends between runs while the engine is quiescent), so
+  // it intentionally overwrites the otherwise write-once lazily-claimed
+  // state published by active(); a CAS here would wrongly pin the first
+  // selection forever.
+  // gdelay-audit: allow(R10) deliberate quiescent-state re-selection, not a racy init path
   g_active.store(r.kernels, std::memory_order_release);
+  // gdelay-audit: allow(R10) paired with the g_active re-selection store above
   g_reason.store(r.reason, std::memory_order_release);
 }
 

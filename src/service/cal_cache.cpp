@@ -107,6 +107,7 @@ std::shared_ptr<const core::ChannelCalibration> CalCache::get_or_calibrate(
     }
     // Another requester is mid-sweep on this key: coalesce onto it.
     ++stats_.coalesced;
+    // gdelay-audit: allow(R11) the claiming thread runs the factory synchronously (never parks), and the submitter-participating pool guarantees its nested parallel work progresses, so coalesced waiters always wake
     ready_.wait(lk, [&] {
       auto i = map_.find(key);
       return i == map_.end() || i->second.cal != nullptr;

@@ -36,8 +36,14 @@ int env_shards() {
     const int parsed = std::atoi(env);
     if (parsed >= 1) n = parsed;
   }
-  g_env_shards.store(n, std::memory_order_release);
-  return n;
+  // Claim the slot with a CAS (write-once idiom, audit rule R10): if a
+  // racing thread resolved first, its value wins everywhere so every
+  // caller sees the same shard count for the life of the process.
+  int expected = 0;
+  if (g_env_shards.compare_exchange_strong(expected, n,
+                                           std::memory_order_acq_rel))
+    return n;
+  return expected;
 }
 
 }  // namespace

@@ -125,6 +125,12 @@ class CalService {
   CacheKey key_for(int channel, double temp_c) const;
 
  private:
+  /// Serializes concurrent flush() calls. Declared first because it is
+  /// the top of this file's lock hierarchy: flush() nests the shard,
+  /// stats and completion locks below it, and R8 checks nested
+  /// acquisition against declaration order.
+  std::mutex flush_mu_;
+
   struct Pending {
     CalRequest req;
     std::uint64_t seq = 0;  ///< global submission sequence (tie-break)
@@ -155,8 +161,6 @@ class CalService {
   ServiceStats stats_;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_total_ = 0;
-
-  std::mutex flush_mu_;  ///< serializes concurrent flush() calls
 
   mutable std::mutex done_mu_;
   std::vector<CalResponse> done_;

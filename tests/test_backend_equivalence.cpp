@@ -338,6 +338,77 @@ TEST(BackendKernels, OnePolePartitionInvariancePerBackend) {
   }
 }
 
+TEST(BackendKernels, SlewMatchesStepOracleAtAnyPartition) {
+  // The solo slew kernel is serial-by-contract: every backend must match
+  // the slew_step oracle bit for bit, for any chunking of the stream
+  // (state carries across calls in SlewState).
+  const auto x = stimulus(4099);
+  gb::SlewCoeffs c;
+  c.max_step = 0.02;
+  c.lin = 0.3;
+  c.has_lin = true;
+  c.leak = 0.001;
+  c.has_leak = true;
+  std::vector<double> want(x.size(), -1.0);
+  {
+    gb::SlewState st{};
+    for (std::size_t i = 0; i < x.size(); ++i)
+      want[i] = gb::slew_step(c, st, x[i]);
+  }
+  std::vector<const gb::Kernels*> tables{&gb::scalar_kernels()};
+  if (avx2_usable()) tables.push_back(gb::avx2_kernels());
+  for (const gb::Kernels* k : tables) {
+    for (std::size_t chunk : kChunks) {
+      gb::SlewState st{};
+      std::vector<double> got(x.size(), -1.0);
+      for (std::size_t o = 0; o < x.size(); o += chunk)
+        k->slew(x.data() + o, got.data() + o, std::min(chunk, x.size() - o),
+                c, st);
+      for (std::size_t i = 0; i < x.size(); ++i)
+        ASSERT_EQ(bits(want[i]), bits(got[i]))
+            << k->name << " slew chunk " << chunk << " sample " << i;
+    }
+  }
+}
+
+TEST(BackendKernels, VgaTailMatchesStepOracleAtAnyPartition) {
+  // Same contract for the droop/slew tail: bit-exact against
+  // vga_tail_step on every backend, partition-invariant via
+  // SlewState + VgaTailState.
+  const auto lim = stimulus(2053);
+  gb::VgaTailCoeffs c;
+  c.amp = 0.45;
+  c.amp_frac = 0.045;
+  c.max_step = 0.015;
+  c.inv_max_step = 1.0 / 0.015;
+  c.alpha = 0.02;
+  c.slew.max_step = 0.015;
+  c.slew.lin = 0.25;
+  c.slew.has_lin = true;
+  std::vector<double> want(lim.size(), -1.0);
+  {
+    gb::SlewState sl{};
+    gb::VgaTailState d{};
+    for (std::size_t i = 0; i < lim.size(); ++i)
+      want[i] = gb::vga_tail_step(c, sl, d, lim[i]);
+  }
+  std::vector<const gb::Kernels*> tables{&gb::scalar_kernels()};
+  if (avx2_usable()) tables.push_back(gb::avx2_kernels());
+  for (const gb::Kernels* k : tables) {
+    for (std::size_t chunk : kChunks) {
+      gb::SlewState sl{};
+      gb::VgaTailState d{};
+      std::vector<double> got(lim.size(), -1.0);
+      for (std::size_t o = 0; o < lim.size(); o += chunk)
+        k->vga_tail(lim.data() + o, got.data() + o,
+                    std::min(chunk, lim.size() - o), c, sl, d);
+      for (std::size_t i = 0; i < lim.size(); ++i)
+        ASSERT_EQ(bits(want[i]), bits(got[i]))
+            << k->name << " vga_tail chunk " << chunk << " sample " << i;
+    }
+  }
+}
+
 TEST(BackendKernels, OnePoleCrossBackendAmplitudeEnvelope) {
   // The AVX2 group-of-4 scan reassociates the recursion; the contract
   // bounds the divergence from the serial oracle to a few machine

@@ -1,27 +1,44 @@
 // gdelay-audit CLI — scans source trees for determinism-contract
 // violations. See audit.h for the rule catalogue and waiver syntax.
 //
-//   gdelay_audit [--baseline FILE] [--write-baseline FILE] <root>...
+//   gdelay_audit [options] <root>...
+//
+//   --baseline FILE        drop findings listed in FILE (file:line:rule)
+//   --check-baseline       error on baseline entries that match nothing
+//   --write-baseline FILE  write surviving findings in baseline form
+//   --tests DIR            register test sources for R12 (repeatable)
+//   --sarif FILE           also emit findings as SARIF 2.1.0
+//   --list-rules           print the rule catalogue and exit
+//   --max-ms N             fail (exit 3) if the scan takes longer than N ms
 //
 // Exit status: 0 when clean (after waivers + baseline), 1 when findings
-// remain, 2 on usage errors.
+// remain or the baseline is stale under --check-baseline, 2 on usage
+// errors, 3 when --max-ms is exceeded.
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "audit.h"
+#include "sarif.h"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: gdelay_audit [--baseline FILE] [--write-baseline FILE]"
-               " <root>...\n"
-               "Scans .h/.hpp/.cpp/.cc files under each <root> (or a single"
-               " file) for\nviolations of the gdelay determinism rules"
-               " R1-R7.\n";
+  std::cerr
+      << "usage: gdelay_audit [--baseline FILE] [--check-baseline]\n"
+         "                    [--write-baseline FILE] [--tests DIR]...\n"
+         "                    [--sarif FILE] [--list-rules] [--max-ms N]\n"
+         "                    <root>...\n"
+         "Scans .h/.hpp/.cpp/.cc files under each <root> (or a single file)"
+         " for\nviolations of the gdelay determinism rules R1-R12"
+         " (R12 needs --tests).\n";
   return 2;
 }
 
@@ -41,13 +58,28 @@ int main(int argc, char** argv) {
 
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string sarif_path;
+  std::vector<std::string> test_roots;
   std::vector<std::string> roots;
+  bool check_baseline = false;
+  bool list_rules = false;
+  long max_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--write-baseline" && i + 1 < argc) {
       write_baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--tests" && i + 1 < argc) {
+      test_roots.push_back(argv[++i]);
+    } else if (arg == "--max-ms" && i + 1 < argc) {
+      max_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--check-baseline") {
+      check_baseline = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -58,14 +90,26 @@ int main(int argc, char** argv) {
       roots.push_back(arg);
     }
   }
+
+  if (list_rules) {
+    for (const auto& r : rule_catalog())
+      std::cout << r.id << "  " << r.summary << "  [" << r.scope << "]\n";
+    return 0;
+  }
   if (roots.empty()) return usage();
 
+  // Wall-clock budget guard for CI (the analyzer must stay cheap enough
+  // to live in tier-1). gdelay-audit: allow(R2) the CLI times its own scan;
+  // the measurement never influences findings or their order.
+  const auto t0 = std::chrono::steady_clock::now();
+
   Options opt;
-  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
   for (const auto& root : roots) {
     if (fs::is_directory(root)) {
-      auto tree = scan_tree(root, opt);
-      findings.insert(findings.end(), tree.begin(), tree.end());
+      auto tree = collect_tree(root);
+      sources.insert(sources.end(), std::make_move_iterator(tree.begin()),
+                     std::make_move_iterator(tree.end()));
     } else {
       bool ok = false;
       std::string content = read_file(root, ok);
@@ -73,12 +117,26 @@ int main(int argc, char** argv) {
         std::cerr << "gdelay-audit: cannot read '" << root << "'\n";
         return 2;
       }
-      auto file_findings = scan_source(root, content, opt);
-      findings.insert(findings.end(), file_findings.begin(),
-                      file_findings.end());
+      sources.push_back({root, std::move(content)});
     }
   }
+  std::vector<SourceFile> test_sources;
+  for (const auto& root : test_roots) {
+    if (!fs::is_directory(root)) {
+      std::cerr << "gdelay-audit: --tests '" << root
+                << "' is not a directory\n";
+      return 2;
+    }
+    auto tree = collect_tree(root);
+    for (auto& f : tree)
+      test_sources.push_back({root + "/" + f.label, std::move(f.content)});
+  }
 
+  ScanStats stats;
+  std::vector<Finding> findings =
+      scan_files(sources, test_sources, opt, &stats);
+
+  std::vector<std::string> stale;
   if (!baseline_path.empty()) {
     bool ok = false;
     std::string text = read_file(baseline_path, ok);
@@ -87,6 +145,7 @@ int main(int argc, char** argv) {
                 << "'\n";
       return 2;
     }
+    if (check_baseline) stale = stale_baseline_entries(findings, text);
     findings = apply_baseline(std::move(findings), text);
   }
 
@@ -99,12 +158,55 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "gdelay-audit: cannot write SARIF to '" << sarif_path
+                << "'\n";
+      return 2;
+    }
+    out << to_sarif(findings);
+  }
+
   for (const auto& f : findings) std::cout << format(f) << "\n";
-  if (findings.empty()) {
+  for (const auto& s : stale)
+    std::cout << "stale baseline entry: " << s
+              << " (no longer matches any finding — delete it)\n";
+
+  // Per-rule summary: findings survive waivers but precede the baseline;
+  // the baseline-suppressed remainder is implicit in the final count.
+  std::cout << "gdelay-audit: scanned " << stats.files_scanned << " file"
+            << (stats.files_scanned == 1 ? "" : "s");
+  if (!test_sources.empty())
+    std::cout << " (+" << test_sources.size() << " test sources for R12)";
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  std::cout << " in " << elapsed << " ms\n";
+  for (const auto& r : rule_catalog()) {
+    auto fit = stats.findings.find(r.id);
+    auto wit = stats.waived.find(r.id);
+    int nf = fit == stats.findings.end() ? 0 : fit->second;
+    int nw = wit == stats.waived.end() ? 0 : wit->second;
+    if (nf == 0 && nw == 0) continue;
+    std::cout << "  " << r.id << ": " << nf << " finding"
+              << (nf == 1 ? "" : "s") << ", " << nw << " waived\n";
+  }
+
+  if (max_ms > 0 && elapsed > max_ms) {
+    std::cout << "gdelay-audit: scan took " << elapsed
+              << " ms, over the --max-ms " << max_ms << " budget\n";
+    return 3;
+  }
+  if (findings.empty() && stale.empty()) {
     std::cout << "gdelay-audit: clean\n";
     return 0;
   }
-  std::cout << "gdelay-audit: " << findings.size() << " finding"
-            << (findings.size() == 1 ? "" : "s") << "\n";
+  if (!findings.empty())
+    std::cout << "gdelay-audit: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+  if (!stale.empty())
+    std::cout << "gdelay-audit: " << stale.size() << " stale baseline entr"
+              << (stale.size() == 1 ? "y" : "ies") << "\n";
   return 1;
 }

@@ -1,0 +1,93 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gdelay::audit {
+namespace {
+
+// JSON string escaping (control chars, quote, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"gdelay-audit\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/gdelay/tools/audit\",\n"
+      << "          \"rules\": [\n";
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\n"
+        << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << json_escape(rules[i].summary) << "\" },\n"
+        << "              \"helpUri\": "
+           "\"https://example.invalid/gdelay/DESIGN.md\",\n"
+        << "              \"properties\": { \"scope\": \""
+        << json_escape(rules[i].scope) << "\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << json_escape(f.message)
+        << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \""
+        << json_escape(f.file) << "\" },\n"
+        << "                \"region\": { \"startLine\": "
+        << (f.line > 0 ? f.line : 1);
+    if (f.col > 0) out << ", \"startColumn\": " << f.col;
+    out << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace gdelay::audit

@@ -1,0 +1,21 @@
+// SARIF 2.1.0 emitter for gdelay-audit findings.
+//
+// Produces one run with the full rule catalogue in
+// runs[0].tool.driver.rules and one result per finding (ruleId, level
+// "error", message, and a physicalLocation with startLine/startColumn).
+// The output is deliberately minimal but schema-valid, so CI can hand it
+// to GitHub code scanning via upload-sarif and to any SARIF viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit.h"
+
+namespace gdelay::audit {
+
+/// Renders `findings` as a SARIF 2.1.0 document. Finding labels are
+/// emitted as artifact URIs verbatim (root-relative, forward slashes).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace gdelay::audit
