@@ -33,10 +33,14 @@ namespace gdelay::bench {
 // directory (default bench/out/, see parse_outdir); v4 adds a "backend"
 // object (compute-backend name, ISA level and the dispatch reason) so a
 // perf number can never be compared against one measured under a
-// different kernel table without noticing. Readers must tolerate all
-// shapes: treat a missing "schema" as v1, a missing "mem" as v2-style
-// timing-only data, and a missing "backend" as the scalar oracle.
-inline constexpr int kBenchJsonSchema = 4;
+// different kernel table without noticing; v5 adds an optional
+// "campaign" object (shard mode/count, units processed, trials/sec,
+// whether the run resumed from a checkpoint) for benches driven by the
+// campaign orchestrator. Readers must tolerate all shapes: treat a
+// missing "schema" as v1, a missing "mem" as v2-style timing-only data,
+// a missing "backend" as the scalar oracle, and a missing "campaign" as
+// a single-process in-line run.
+inline constexpr int kBenchJsonSchema = 5;
 
 /// The v4 "backend" stamp, read from the dispatcher at call time. Dual-
 /// backend harnesses select backends per benchmark run; the stamp then
@@ -99,13 +103,26 @@ inline std::size_t peak_rss_bytes() {
 #endif
 }
 
-/// Hand-rolled BENCH_<name>.json for the figure benches: the schema-4
-/// envelope (version, git rev, backend stamp, peak RSS) around a flat
-/// list of headline scalars — the numbers a perf/accuracy dashboard
-/// tracks per figure. Non-harness counterpart of write_gbench_json.
+/// The v5 "campaign" stamp: shard topology and throughput of an
+/// orchestrated run. `mode` is campaign::mode_name() of the mode that
+/// actually ran (fork may degrade to thread off-POSIX).
+struct CampaignStamp {
+  const char* mode = "serial";
+  std::size_t shards = 1;
+  std::size_t units = 0;
+  double trials_per_sec = 0.0;
+  bool resumed = false;
+};
+
+/// Hand-rolled BENCH_<name>.json for the figure benches: the schema-5
+/// envelope (version, git rev, backend stamp, optional campaign stamp,
+/// peak RSS) around a flat list of headline scalars — the numbers a
+/// perf/accuracy dashboard tracks per figure. Non-harness counterpart
+/// of write_gbench_json.
 inline void write_figure_json(
     const std::string& outdir, const char* bench_name,
-    const std::vector<std::pair<std::string, double>>& scalars) {
+    const std::vector<std::pair<std::string, double>>& scalars,
+    const CampaignStamp* campaign = nullptr) {
   const std::string path = outdir + "/BENCH_" + bench_name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -120,6 +137,15 @@ inline void write_figure_json(
                "\"reason\": \"%s\"}",
                bench_name, kBenchJsonSchema, GDELAY_GIT_REV, bs.name, bs.isa,
                bs.reason);
+  if (campaign) {
+    std::fprintf(f,
+                 ",\n  \"campaign\": {\"mode\": \"%s\", \"shards\": %zu, "
+                 "\"units\": %zu, \"trials_per_sec\": %.6g, "
+                 "\"resumed\": %s}",
+                 campaign->mode, campaign->shards, campaign->units,
+                 campaign->trials_per_sec,
+                 campaign->resumed ? "true" : "false");
+  }
   for (const auto& [key, value] : scalars)
     std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
   std::fprintf(f, ",\n  \"mem\": {\"peak_rss_bytes\": %zu}\n}\n",

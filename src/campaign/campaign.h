@@ -1,0 +1,194 @@
+// Extreme-statistics campaign orchestration.
+//
+// A campaign is N independent work units folded into a set of mergeable
+// accumulators. The orchestrator shards the unit range over processes
+// (fork + pipe), pool threads, or a serial loop, checkpoints partial
+// accumulators so a killed campaign resumes where it stopped, and merges
+// shard states in shard order.
+//
+// The headline invariant is determinism: the merged result is
+// bit-identical for ANY shard count, ANY execution mode, and ANY resume
+// point. Three design rules make that hold by construction:
+//
+//   1. Pure substreams. Unit u draws from Rng(spec.seed).fork(u) — a pure
+//      function of (seed, unit), independent of which shard runs u, in
+//      which process, before or after a resume.
+//   2. Contiguous shards, ordered merge. Shard s owns a contiguous unit
+//      range; merges happen in shard order, so every accumulator sees
+//      contributions in the same order as the single-shard run. Counting
+//      accumulators (eye rasters, histograms) are exactly associative;
+//      floating-point reductions go through RecordAccumulator, which
+//      keeps per-unit records and reduces in unit order AFTER the merge.
+//   3. Byte-exact state. Checkpoints round-trip through the serde layer
+//      (save(load(save(x))) == save(x)), and a resumed shard continues
+//      from state indistinguishable from the uninterrupted run.
+//
+// Processes vs threads: fork mode forks one child per shard BEFORE any
+// pipe is read (the callback survives by copy-on-write; no exec, no
+// argument marshalling), each child streams its framed shard state into a
+// pipe and _exit()s; the parent drains pipes on the pool and reaps with
+// waitpid. Where fork is unavailable the campaign falls back to pool
+// threads with identical results. Unit callbacks must not touch the
+// global thread pool themselves — shards already own the parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/config.h"
+#include "util/rng.h"
+
+namespace gdelay::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace gdelay::util
+
+namespace gdelay::meas {
+class ISampleSink;
+}  // namespace gdelay::meas
+
+namespace gdelay::campaign {
+
+/// Mergeable, checkpointable campaign state. Implementations must be
+/// byte-exact: save() then load() reproduces the accumulator bit for bit.
+class IAccumulator {
+ public:
+  virtual ~IAccumulator() = default;
+  virtual void save(util::ByteWriter& w) const = 0;
+  virtual void load(util::ByteReader& r) = 0;
+  /// Folds another accumulator of the same type/config into this one.
+  virtual void merge_from(const IAccumulator& other) = 0;
+};
+
+/// Adapts a checkpointable measurement sink (meas::ISampleSink) to the
+/// campaign accumulator interface.
+class SinkAccumulator final : public IAccumulator {
+ public:
+  explicit SinkAccumulator(std::unique_ptr<meas::ISampleSink> sink);
+  ~SinkAccumulator() override;
+
+  meas::ISampleSink& sink() { return *sink_; }
+  const meas::ISampleSink& sink() const { return *sink_; }
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+  void merge_from(const IAccumulator& other) override;
+
+ private:
+  std::unique_ptr<meas::ISampleSink> sink_;
+};
+
+/// Fixed-width per-unit records: unit id + `width` doubles. Records stay
+/// sorted by unit id (shards process their contiguous ranges in order;
+/// merge_from() merge-sorts), so any final floating-point reduction runs
+/// in unit order regardless of the shard split — the association-
+/// invariance trick behind the campaign determinism contract.
+class RecordAccumulator final : public IAccumulator {
+ public:
+  explicit RecordAccumulator(std::size_t width);
+
+  /// Appends unit `u`'s record (`width` doubles). Units must arrive in
+  /// increasing order within one accumulator.
+  void add(std::uint64_t unit, const double* values);
+
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return units_.size(); }
+  std::uint64_t unit_at(std::size_t i) const { return units_[i]; }
+  const double* values_at(std::size_t i) const {
+    return values_.data() + i * width_;
+  }
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+  void merge_from(const IAccumulator& other) override;
+
+ private:
+  std::size_t width_;
+  std::vector<std::uint64_t> units_;
+  std::vector<double> values_;  ///< size() * width_, row per unit.
+};
+
+using AccumulatorSet = std::vector<std::unique_ptr<IAccumulator>>;
+/// Creates the (empty) accumulator set for one shard. Must produce the
+/// same layout every call — checkpoints load into a fresh factory set.
+using AccumulatorFactory = std::function<AccumulatorSet()>;
+/// Folds unit `unit`'s work into the shard's accumulators. `rng` is the
+/// unit's private substream (pure in (seed, unit)); implementations must
+/// not draw randomness from anywhere else.
+using UnitFn =
+    std::function<void(std::uint64_t unit, util::Rng& rng, AccumulatorSet&)>;
+
+struct CampaignSpec {
+  std::string name = "campaign";  ///< Names checkpoint files; fingerprinted.
+  std::uint64_t seed = 1;
+  std::uint64_t n_units = 0;
+  /// 0 = config::default_shards() (GDELAY_CAMPAIGN_SHARDS, default 4).
+  std::size_t n_shards = 0;
+  /// Unset = config::default_mode() (GDELAY_CAMPAIGN_MODE, default fork).
+  std::optional<Mode> mode;
+  /// Directory for shard checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Units between periodic checkpoints (0 = checkpoint only on stop).
+  std::uint64_t checkpoint_every = 0;
+  /// Cap on units processed PER SHARD in this invocation (0 = no cap).
+  /// A capped run checkpoints and reports complete=false — the
+  /// deterministic stand-in for "killed mid-campaign" in resume tests.
+  std::uint64_t stop_after_units = 0;
+};
+
+struct ShardRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< exclusive
+};
+
+/// Contiguous, balanced shard ranges covering [0, n_units).
+std::vector<ShardRange> plan_shards(std::uint64_t n_units,
+                                    std::size_t n_shards);
+
+/// Hash of (name, seed, n_units, n_shards) — stored in every shard
+/// checkpoint so state from a different campaign or topology can never
+/// resume into this one.
+std::uint64_t spec_fingerprint(const CampaignSpec& spec,
+                               std::size_t n_shards);
+
+struct CampaignResult {
+  AccumulatorSet accumulators;  ///< Merged, in factory order.
+  std::uint64_t units_done = 0;
+  bool complete = false;  ///< false when stop_after_units cut the run short.
+  std::size_t n_shards = 0;
+  Mode mode = Mode::kSerial;
+  bool resumed = false;  ///< Any shard continued from a checkpoint.
+};
+
+/// Runs (or resumes) the campaign and merges all shard states.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const AccumulatorFactory& factory,
+                            const UnitFn& unit_fn);
+
+/// Exec-worker support: runs ONE shard (with the spec's checkpoint/resume
+/// semantics) and writes its framed shard report to `result_path`. This
+/// is the body of `gdelay_tool campaign-worker`; the spawning parent
+/// merges the result files with merge_shard_reports().
+void run_shard_to_file(const CampaignSpec& spec, std::size_t shard,
+                       const AccumulatorFactory& factory,
+                       const UnitFn& unit_fn, const std::string& result_path);
+
+/// Merges framed shard reports (one per shard, in shard order) into a
+/// campaign result. Throws if a report is missing, corrupt, or from a
+/// different spec/topology.
+CampaignResult merge_shard_reports(const CampaignSpec& spec,
+                                   const AccumulatorFactory& factory,
+                                   const std::vector<std::string>& frames);
+
+/// Path of shard `shard`'s checkpoint file under the spec's dir.
+std::string shard_checkpoint_path(const CampaignSpec& spec,
+                                  std::size_t shard);
+
+/// Removes all shard checkpoints of a completed campaign.
+void remove_checkpoints(const CampaignSpec& spec);
+
+}  // namespace gdelay::campaign

@@ -1,0 +1,54 @@
+#include "campaign/config.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gdelay::campaign {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kSerial:
+      return "serial";
+    case Mode::kThread:
+      return "thread";
+    case Mode::kFork:
+      return "fork";
+  }
+  return "?";
+}
+
+Mode parse_mode(const std::string& s) {
+  if (s == "serial") return Mode::kSerial;
+  if (s == "thread") return Mode::kThread;
+  if (s == "fork") return Mode::kFork;
+  throw std::invalid_argument("campaign: unknown mode '" + s +
+                              "' (serial|thread|fork)");
+}
+
+bool fork_available() {
+#if defined(__unix__) || defined(__APPLE__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// The env reads below are covered by the scoped R2 allowlist entry for
+// campaign/config: both knobs are performance-only, and test_campaign
+// pins that merged results are bit-identical at any setting.
+
+Mode default_mode() {
+  if (const char* env = std::getenv("GDELAY_CAMPAIGN_MODE"))
+    return parse_mode(env);
+  return fork_available() ? Mode::kFork : Mode::kThread;
+}
+
+std::size_t default_shards() {
+  if (const char* env = std::getenv("GDELAY_CAMPAIGN_SHARDS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return 4;
+}
+
+}  // namespace gdelay::campaign

@@ -6,6 +6,7 @@
 
 #include "measure/stats.h"
 #include "signal/edges.h"
+#include "util/serde.h"
 
 namespace gdelay::meas {
 
@@ -69,6 +70,44 @@ std::string EyeDiagram::ascii() const {
     out += '\n';
   }
   return out;
+}
+
+void EyeDiagram::save(util::ByteWriter& w) const {
+  w.f64(ui_);
+  w.f64(v_min_);
+  w.f64(v_max_);
+  w.u64(cols_);
+  w.u64(rows_);
+  w.vec_u64(grid_);
+  w.u64(total_);
+}
+
+void EyeDiagram::load(util::ByteReader& r) {
+  const double ui = r.f64();
+  const double v_min = r.f64();
+  const double v_max = r.f64();
+  const auto cols = static_cast<std::size_t>(r.u64());
+  const auto rows = static_cast<std::size_t>(r.u64());
+  std::vector<std::size_t> grid = r.vec_u64();
+  const auto total = static_cast<std::size_t>(r.u64());
+  if (ui <= 0.0 || !(v_max > v_min) || cols < 2 || rows < 2 ||
+      grid.size() != cols * rows)
+    throw std::runtime_error("EyeDiagram: corrupt checkpoint payload");
+  ui_ = ui;
+  v_min_ = v_min;
+  v_max_ = v_max;
+  cols_ = cols;
+  rows_ = rows;
+  grid_ = std::move(grid);
+  total_ = total;
+}
+
+void EyeDiagram::merge(const EyeDiagram& other) {
+  if (ui_ != other.ui_ || v_min_ != other.v_min_ || v_max_ != other.v_max_ ||
+      cols_ != other.cols_ || rows_ != other.rows_)
+    throw std::runtime_error("EyeDiagram: merge geometry mismatch");
+  for (std::size_t i = 0; i < grid_.size(); ++i) grid_[i] += other.grid_[i];
+  total_ += other.total_;
 }
 
 EyeMetrics measure_eye(const sig::Waveform& wf, double ui_ps,

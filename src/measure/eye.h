@@ -15,6 +15,11 @@
 #include "measure/jitter.h"
 #include "signal/waveform.h"
 
+namespace gdelay::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace gdelay::util
+
 namespace gdelay::meas {
 
 struct EyeMetrics {
@@ -52,6 +57,15 @@ class EyeDiagram {
 
   /// ASCII art of the accumulated eye (density-shaded), for bench output.
   std::string ascii() const;
+
+  /// Byte-exact checkpoint of the full raster state (geometry + counts).
+  /// load() overwrites this diagram and throws std::runtime_error on a
+  /// corrupt payload (grid size inconsistent with the stored geometry).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+  /// Adds another diagram's counts bin-by-bin. Geometry (ui, v range,
+  /// raster size) must match exactly; throws std::runtime_error otherwise.
+  void merge(const EyeDiagram& other);
 
  private:
   double ui_;

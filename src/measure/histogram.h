@@ -5,6 +5,11 @@
 #include <string>
 #include <vector>
 
+namespace gdelay::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace gdelay::util
+
 namespace gdelay::meas {
 
 class Histogram {
@@ -31,6 +36,14 @@ class Histogram {
 
   /// Simple ASCII rendering (one row per bin) for bench/report output.
   std::string ascii(std::size_t max_width = 50) const;
+
+  /// Byte-exact checkpoint of bins + counts. load() overwrites this
+  /// histogram; a payload whose counts do not reconcile with the stored
+  /// total throws std::runtime_error.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+  /// Adds another histogram's counts. Binning must match exactly.
+  void merge(const Histogram& other);
 
  private:
   double lo_;

@@ -1,0 +1,72 @@
+// Binary serialization primitives for checkpointable state.
+//
+// The campaign orchestrator persists partial accumulators (measurement
+// sinks, per-trial record sets) so extreme-statistics runs can be
+// sharded over processes, killed, resumed and merged. Everything here is
+// byte-exact and host-independent: integers are packed little-endian one
+// octet at a time, doubles travel as their IEEE-754 bit pattern, and a
+// reader that runs past the end of its buffer throws instead of
+// fabricating state. Round-trip identity — save(load(save(x))) ==
+// save(x) — is the contract the checkpoint tests pin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdelay::util {
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern, exact.
+  void raw(const void* data, std::size_t n);
+
+  /// Length-prefixed vectors (u64 count, then elements).
+  void vec_f64(const std::vector<double>& v);
+  void vec_u64(const std::vector<std::uint64_t>& v);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer. Any read
+/// past the end throws std::runtime_error("serde: truncated ...") — a
+/// truncated checkpoint can never deserialize into plausible state.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t n);
+  explicit ByteReader(const std::string& bytes);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  void raw(void* out, std::size_t n);
+
+  std::vector<double> vec_f64();
+  std::vector<std::uint64_t> vec_u64();
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool at_end() const { return p_ == end_; }
+
+ private:
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+/// FNV-1a 64-bit hash — the checkpoint frames' integrity checksum.
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace gdelay::util

@@ -139,6 +139,22 @@ TEST(AuditR2, ServiceRequestPathsAreNotEnvExempt) {
   }
 }
 
+TEST(AuditR2, CampaignConfigOwnsItsEnvKnobs) {
+  // campaign/config owns GDELAY_CAMPAIGN_MODE / GDELAY_CAMPAIGN_SHARDS.
+  // The orchestrator itself (campaign/campaign) is deliberately NOT
+  // exempt: once a CampaignSpec is built, execution must not consult the
+  // environment again or resume/merge results could fork per host.
+  const std::string src = "const char* f() { return std::getenv(\"X\"); }";
+  EXPECT_TRUE(scan_source("campaign/config.cpp", src).empty());
+  for (const char* label : {"campaign/campaign.cpp", "campaign/campaign.h",
+                            "campaign/checkpoint.cpp"}) {
+    auto fs = scan_source(label, src);
+    ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R2"})
+        << label << "\n"
+        << render(fs);
+  }
+}
+
 TEST(AuditR2, InlineWaiverSilences) {
   auto fs = scan_source(
       "util/x.cpp",
@@ -853,6 +869,56 @@ TEST(AuditR11, ConsumeBodyIsARoot) {
   EXPECT_EQ(fs[0].file, "measure/s.cpp");
   EXPECT_NE(fs[0].message.find("consume() in measure/s.cpp"),
             std::string::npos);
+}
+
+TEST(AuditR11, WaitpidReachableFromPoolLambdaIsFlagged) {
+  // waitpid parks the calling thread until a child exits; reached from a
+  // pool task outside campaign/ it can deadlock a saturated pool.
+  const char* reaper =
+      "void reap(int pid) {\n"
+      "  int status = 0;\n"
+      "  waitpid(pid, &status, 0);\n"
+      "}\n"
+      "void run_all(std::size_t n) {\n"
+      "  util::parallel_for(n, [&](std::size_t i) { reap((int)i); });\n"
+      "}\n";
+  auto fs = scan_files({{"util/reap.cpp", reaper}}, {});
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R11"}) << render(fs);
+  EXPECT_EQ(fs[0].file, "util/reap.cpp");
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_NE(fs[0].message.find("waitpid"), std::string::npos);
+}
+
+TEST(AuditR11, CampaignReapSitesAreScopeAllowed) {
+  // Identical code under campaign/ is clean: the orchestrator only calls
+  // waitpid after draining a child's pipe to EOF, which the child writes
+  // only on exit — the wait is bounded by construction, so the directory
+  // carries a scoped allowance instead of per-line waivers.
+  const char* reaper =
+      "void reap(int pid) {\n"
+      "  int status = 0;\n"
+      "  waitpid(pid, &status, 0);\n"
+      "}\n"
+      "void run_all(std::size_t n) {\n"
+      "  util::parallel_for(n, [&](std::size_t i) { reap((int)i); });\n"
+      "}\n";
+  auto fs = scan_files({{"campaign/campaign.cpp", reaper}}, {});
+  EXPECT_TRUE(fs.empty()) << render(fs);
+}
+
+TEST(AuditR11, BlockingAllowlistIsConfigurable) {
+  // Clearing blocking_allowed must re-expose campaign/ findings — the
+  // allowance is an Options knob, not a hard-coded exemption.
+  const char* reaper =
+      "void reap(int pid) { int s = 0; waitpid(pid, &s, 0); }\n"
+      "void run_all(std::size_t n) {\n"
+      "  util::parallel_for(n, [&](std::size_t i) { reap((int)i); });\n"
+      "}\n";
+  gdelay::audit::Options opt;
+  opt.blocking_allowed.clear();
+  auto fs = scan_files({{"campaign/campaign.cpp", reaper}}, {}, opt);
+  ASSERT_EQ(rules_of(fs), std::vector<std::string>{"R11"}) << render(fs);
+  EXPECT_NE(fs[0].message.find("waitpid"), std::string::npos);
 }
 
 TEST(AuditR11, InlineWaiverInOtherFileSilences) {

@@ -1,0 +1,321 @@
+// Campaign orchestration: sharding, per-unit substreams, checkpoints,
+// merges. The headline contract under test is determinism — the merged
+// result is bit-identical for ANY shard count, ANY execution mode
+// (serial / thread / fork) and ANY resume point — plus the guard rails
+// around it: checkpoints from a different spec or topology are rejected,
+// corrupt shard reports throw, and the RecordAccumulator restores unit
+// order across merges so floating-point reductions stay associative by
+// construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/config.h"
+#include "measure/sinks.h"
+#include "util/rng.h"
+#include "util/serde.h"
+
+namespace gcp = gdelay::campaign;
+namespace gm = gdelay::meas;
+using gdelay::util::ByteReader;
+using gdelay::util::ByteWriter;
+using gdelay::util::fnv1a64;
+using gdelay::util::Rng;
+
+namespace {
+
+constexpr std::uint64_t kUnits = 40;
+
+// Small mixed workload: one order-restoring record accumulator plus one
+// counting sink, the two accumulator families the orchestrator merges.
+gcp::AccumulatorSet make_accs() {
+  gcp::AccumulatorSet accs;
+  accs.push_back(std::make_unique<gcp::RecordAccumulator>(2));
+  accs.push_back(std::make_unique<gcp::SinkAccumulator>(
+      std::make_unique<gm::LevelHistogramSink>(-4.0, 4.0, 32, 0.0)));
+  return accs;
+}
+
+void unit_work(std::uint64_t unit, Rng& rng, gcp::AccumulatorSet& accs) {
+  auto& rec = dynamic_cast<gcp::RecordAccumulator&>(*accs[0]);
+  auto& sink = dynamic_cast<gcp::SinkAccumulator&>(*accs[1]).sink();
+  double samples[16];
+  double sum = 0.0, peak = 0.0;
+  for (double& s : samples) {
+    s = rng.gaussian();
+    sum += s;
+    if (s > peak) peak = s;
+  }
+  sink.begin(0.0, 1.0, 16);
+  sink.consume(samples, 16);
+  sink.finish();
+  const double row[2] = {sum / 16.0, peak};
+  rec.add(unit, row);
+}
+
+std::uint64_t hash_accs(const gcp::AccumulatorSet& accs) {
+  ByteWriter w;
+  for (const auto& a : accs) a->save(w);
+  return fnv1a64(w.bytes().data(), w.size());
+}
+
+gcp::CampaignSpec base_spec(std::size_t shards, gcp::Mode mode) {
+  gcp::CampaignSpec spec;
+  spec.name = "unit_test";
+  spec.seed = 77;
+  spec.n_units = kUnits;
+  spec.n_shards = shards;  // always explicit: tests must ignore the env
+  spec.mode = mode;
+  return spec;
+}
+
+std::uint64_t run_hash(std::size_t shards, gcp::Mode mode) {
+  const gcp::CampaignResult r =
+      gcp::run_campaign(base_spec(shards, mode), make_accs, unit_work);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.units_done, kUnits);
+  return hash_accs(r.accumulators);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shard planning and fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(CampaignPlan, ShardsAreContiguousBalancedAndCovering) {
+  for (std::uint64_t n : {0ull, 1ull, 3ull, 10ull, 1000ull}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{3},
+                               std::size_t{4}, std::size_t{8}}) {
+      const auto ranges = gcp::plan_shards(n, shards);
+      ASSERT_EQ(ranges.size(), shards);
+      EXPECT_EQ(ranges.front().begin, 0u);
+      EXPECT_EQ(ranges.back().end, n);
+      std::uint64_t lo = n, hi = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        ASSERT_LE(ranges[s].begin, ranges[s].end);
+        if (s) EXPECT_EQ(ranges[s].begin, ranges[s - 1].end);
+        const std::uint64_t len = ranges[s].end - ranges[s].begin;
+        lo = std::min(lo, len);
+        hi = std::max(hi, len);
+      }
+      EXPECT_LE(hi - lo, 1u) << n << " units over " << shards;
+    }
+  }
+}
+
+TEST(CampaignPlan, FingerprintSeparatesSpecAndTopology) {
+  const gcp::CampaignSpec a = base_spec(4, gcp::Mode::kSerial);
+  const std::uint64_t fp = gcp::spec_fingerprint(a, 4);
+  EXPECT_EQ(fp, gcp::spec_fingerprint(a, 4));  // stable
+
+  gcp::CampaignSpec b = a;
+  b.name = "other_campaign";
+  EXPECT_NE(gcp::spec_fingerprint(b, 4), fp);
+  b = a;
+  b.seed = 78;
+  EXPECT_NE(gcp::spec_fingerprint(b, 4), fp);
+  b = a;
+  b.n_units = kUnits + 1;
+  EXPECT_NE(gcp::spec_fingerprint(b, 4), fp);
+  EXPECT_NE(gcp::spec_fingerprint(a, 8), fp);  // topology
+}
+
+TEST(CampaignConfig, ModeNamesRoundTrip) {
+  for (gcp::Mode m :
+       {gcp::Mode::kSerial, gcp::Mode::kThread, gcp::Mode::kFork})
+    EXPECT_EQ(gcp::parse_mode(gcp::mode_name(m)), m);
+  EXPECT_THROW(gcp::parse_mode("sideways"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// RecordAccumulator: the association-invariance workhorse
+// ---------------------------------------------------------------------------
+
+TEST(RecordAccumulator, MergeRestoresGlobalUnitOrder) {
+  gcp::RecordAccumulator a(1), b(1);
+  for (std::uint64_t u : {0ull, 2ull, 4ull}) {
+    const double v = 10.0 + static_cast<double>(u);
+    a.add(u, &v);
+  }
+  for (std::uint64_t u : {1ull, 3ull}) {
+    const double v = 10.0 + static_cast<double>(u);
+    b.add(u, &v);
+  }
+  a.merge_from(b);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.unit_at(i), i);  // merge-sorted back to 0,1,2,3,4
+    EXPECT_EQ(a.values_at(i)[0], 10.0 + static_cast<double>(i));
+  }
+}
+
+TEST(RecordAccumulator, SaveLoadSaveIsIdentity) {
+  gcp::RecordAccumulator a(3);
+  Rng rng(9);
+  for (std::uint64_t u = 0; u < 17; ++u) {
+    const double row[3] = {rng.gaussian(), rng.uniform(), -1.0};
+    a.add(u, row);
+  }
+  ByteWriter w1;
+  a.save(w1);
+
+  gcp::RecordAccumulator b(3);
+  ByteReader r(w1.bytes());
+  b.load(r);
+  EXPECT_EQ(b.size(), a.size());
+  ByteWriter w2;
+  b.save(w2);
+  EXPECT_EQ(w2.bytes(), w1.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract
+// ---------------------------------------------------------------------------
+
+TEST(CampaignDeterminism, HashInvariantAcrossShardCountsAndModes) {
+  const std::uint64_t ref = run_hash(1, gcp::Mode::kSerial);
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}})
+    EXPECT_EQ(run_hash(shards, gcp::Mode::kSerial), ref) << shards;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}})
+    EXPECT_EQ(run_hash(shards, gcp::Mode::kThread), ref) << shards;
+  if (gcp::fork_available())
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}})
+      EXPECT_EQ(run_hash(shards, gcp::Mode::kFork), ref) << shards;
+}
+
+TEST(CampaignDeterminism, ResumeFromCheckpointMatchesUninterrupted) {
+  const std::uint64_t ref = run_hash(1, gcp::Mode::kSerial);
+
+  gcp::CampaignSpec spec = base_spec(2, gcp::Mode::kSerial);
+  spec.checkpoint_dir = ::testing::TempDir() + "gdelay_campaign_resume";
+  spec.checkpoint_every = 5;
+  spec.stop_after_units = kUnits / 2 / 2;  // half of each shard's range
+
+  const gcp::CampaignResult part =
+      gcp::run_campaign(spec, make_accs, unit_work);
+  EXPECT_FALSE(part.complete);
+  EXPECT_EQ(part.units_done, kUnits / 2);
+
+  spec.stop_after_units = 0;
+  const gcp::CampaignResult full =
+      gcp::run_campaign(spec, make_accs, unit_work);
+  EXPECT_TRUE(full.complete);
+  EXPECT_TRUE(full.resumed);
+  EXPECT_EQ(full.units_done, kUnits);
+  EXPECT_EQ(hash_accs(full.accumulators), ref);
+
+  // After cleanup a rerun starts fresh — no stale state is picked up.
+  gcp::remove_checkpoints(spec);
+  const gcp::CampaignResult fresh =
+      gcp::run_campaign(spec, make_accs, unit_work);
+  EXPECT_FALSE(fresh.resumed);
+  EXPECT_EQ(hash_accs(fresh.accumulators), ref);
+  gcp::remove_checkpoints(spec);
+}
+
+TEST(CampaignDeterminism, ForeignCheckpointIsRejected) {
+  gcp::CampaignSpec spec = base_spec(1, gcp::Mode::kSerial);
+  spec.checkpoint_dir = ::testing::TempDir() + "gdelay_campaign_foreign";
+  spec.stop_after_units = 3;
+  gcp::run_campaign(spec, make_accs, unit_work);  // leaves a checkpoint
+
+  gcp::CampaignSpec other = spec;
+  other.stop_after_units = 0;
+  other.seed = spec.seed + 1;  // same name+dir, different campaign
+  EXPECT_THROW(gcp::run_campaign(other, make_accs, unit_work),
+               std::runtime_error);
+
+  gcp::remove_checkpoints(spec);
+}
+
+TEST(CampaignDeterminism, TopologyChangeCannotAbsorbOldCheckpoints) {
+  gcp::CampaignSpec spec = base_spec(2, gcp::Mode::kSerial);
+  spec.checkpoint_dir = ::testing::TempDir() + "gdelay_campaign_topo";
+  spec.stop_after_units = 3;
+  gcp::run_campaign(spec, make_accs, unit_work);
+
+  gcp::CampaignSpec wider = spec;
+  wider.stop_after_units = 0;
+  wider.n_shards = 4;  // shard 0/1 checkpoints carry the 2-shard fingerprint
+  EXPECT_THROW(gcp::run_campaign(wider, make_accs, unit_work),
+               std::runtime_error);
+
+  gcp::remove_checkpoints(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Worker report files (the exec-mode transport)
+// ---------------------------------------------------------------------------
+
+TEST(CampaignWorker, ShardReportFilesMergeToTheCampaignResult) {
+  const std::uint64_t ref = run_hash(1, gcp::Mode::kSerial);
+  const gcp::CampaignSpec spec = base_spec(3, gcp::Mode::kSerial);
+  const std::string dir = ::testing::TempDir() + "gdelay_campaign_worker";
+
+  std::vector<std::string> frames;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::string path = dir + "/shard" + std::to_string(s) + ".result";
+    gcp::run_shard_to_file(spec, s, make_accs, unit_work, path);
+    auto bytes = gcp::read_file(path);
+    ASSERT_TRUE(bytes.has_value()) << path;
+    frames.push_back(*bytes);
+    gcp::remove_file(path);
+  }
+
+  const gcp::CampaignResult r =
+      gcp::merge_shard_reports(spec, make_accs, frames);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.units_done, kUnits);
+  EXPECT_EQ(hash_accs(r.accumulators), ref);
+}
+
+TEST(CampaignWorker, CorruptOrForeignReportsAreRejected) {
+  const gcp::CampaignSpec spec = base_spec(2, gcp::Mode::kSerial);
+  const std::string dir = ::testing::TempDir() + "gdelay_campaign_reject";
+
+  std::vector<std::string> frames;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const std::string path = dir + "/shard" + std::to_string(s) + ".result";
+    gcp::run_shard_to_file(spec, s, make_accs, unit_work, path);
+    frames.push_back(*gcp::read_file(path));
+    gcp::remove_file(path);
+  }
+
+  // Wrong report count.
+  EXPECT_THROW(
+      gcp::merge_shard_reports(spec, make_accs, {frames[0]}),
+      std::invalid_argument);
+
+  // Bit flip inside one frame: the checksum rejects it.
+  auto flipped = frames;
+  flipped[1][flipped[1].size() / 2] ^= 0x20;
+  EXPECT_THROW(gcp::merge_shard_reports(spec, make_accs, flipped),
+               std::runtime_error);
+
+  // Reports from a different campaign cannot merge into this spec.
+  gcp::CampaignSpec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_THROW(gcp::merge_shard_reports(other, make_accs, frames),
+               std::runtime_error);
+
+  // Shard order matters: swapping reports trips the shard-index check.
+  auto swapped = frames;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_THROW(gcp::merge_shard_reports(spec, make_accs, swapped),
+               std::runtime_error);
+}
+
+TEST(CampaignWorker, ShardIndexOutOfRangeIsRejected) {
+  const gcp::CampaignSpec spec = base_spec(2, gcp::Mode::kSerial);
+  EXPECT_THROW(gcp::run_shard_to_file(spec, 2, make_accs, unit_work,
+                                      ::testing::TempDir() + "nope.result"),
+               std::invalid_argument);
+}

@@ -139,3 +139,127 @@ TEST(Bathtub, ValidatesInput) {
   EXPECT_THROW(gm::eye_opening_at_ber(100.0, 1.0, 0.0, 0.0),
                std::invalid_argument);
 }
+
+// ---------------------------------------------------------------------------
+// RJ -> 0: the analytic pure-DJ branch (regression for the old sigma floor)
+// ---------------------------------------------------------------------------
+
+TEST(Bathtub, PureDjOpeningIsExact) {
+  // With RJ exactly 0 the bathtub is a step: BER = rho/2 on the Dirac
+  // span, exactly 0 between. The opening is UI - DJ with no sigma floor.
+  EXPECT_EQ(gm::eye_opening_at_ber(156.25, 0.0, 40.0, 1e-12), 156.25 - 40.0);
+  EXPECT_EQ(gm::eye_opening_at_ber(156.25, 0.0, 0.0, 1e-15), 156.25);
+  EXPECT_EQ(gm::eye_opening_at_ber(156.25, 0.0, 200.0, 1e-12), 0.0);
+  // A target above the step height is met everywhere.
+  EXPECT_EQ(gm::eye_opening_at_ber(156.25, 0.0, 40.0, 0.3), 156.25);
+  EXPECT_THROW(gm::eye_opening_at_ber(156.25, 0.0, -1.0, 1e-12),
+               std::invalid_argument);
+}
+
+TEST(Bathtub, OpeningIsContinuousAsRjVanishes) {
+  // The Gaussian branch must converge to the analytic value as sigma -> 0
+  // instead of jumping at a hidden floor.
+  const double ui = 156.25, dj = 40.0;
+  const double exact = gm::eye_opening_at_ber(ui, 0.0, dj, 1e-12);
+  double prev_err = 1e9;
+  for (double sigma : {1.0, 0.1, 0.01, 0.001}) {
+    const double err =
+        std::abs(gm::eye_opening_at_ber(ui, sigma, dj, 1e-12) - exact);
+    EXPECT_LT(err, prev_err + 1e-12) << "sigma " << sigma;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.05);  // within 50 fs of analytic at sigma = 1 fs
+}
+
+// ---------------------------------------------------------------------------
+// Importance-sampled tails vs the closed form
+// ---------------------------------------------------------------------------
+
+TEST(IsBathtub, DualDiracDistribution) {
+  const gm::DjDistribution dj = gm::dual_dirac_dj(6.0);
+  ASSERT_EQ(dj.offset_ps.size(), 2u);
+  EXPECT_EQ(dj.offset_ps[0], -3.0);
+  EXPECT_EQ(dj.offset_ps[1], 3.0);
+  EXPECT_EQ(dj.weight[0], dj.weight[1]);
+}
+
+TEST(IsBathtub, EstimatesMatchClosedFormIntoDeepTails) {
+  // The IS estimator is unbiased for the model BER, so every point of
+  // the sampled curve must sit within a few standard errors of
+  // ber_at_phase — including points far below 1e-12 where a plain MC
+  // counter would see zero hits.
+  const double ui = 156.25, sigma = 2.0;
+  const gm::DjDistribution dj = gm::dual_dirac_dj(12.0);
+  gm::TailSimOptions opt;
+  opt.n_points = 17;
+  Rng rng(90210);
+  const auto curve = gm::importance_sampled_bathtub(ui, sigma, dj, opt, rng);
+  ASSERT_EQ(curve.size(), opt.n_points);
+
+  std::size_t deep_points = 0;
+  for (const auto& p : curve) {
+    const double model = gm::ber_at_phase(p.phase_ps, ui, sigma, dj);
+    if (model < 1e-300) continue;  // beyond double-precision comparison
+    // Floor the tolerance at 8%: at extreme tilts the weight
+    // distribution is heavy-tailed and the stderr estimate itself is
+    // noisy, so a pure 6-sigma band occasionally under-covers.
+    const double tol = std::max(0.08, 6.0 * p.rel_stderr);
+    EXPECT_NEAR(p.ber / model, 1.0, tol)
+        << "phase " << p.phase_ps << " model " << model;
+    if (model < 1e-12) ++deep_points;
+  }
+  // The sweep must actually have probed the extrapolation-only regime.
+  EXPECT_GE(deep_points, 3u);
+}
+
+TEST(IsBathtub, DeterministicGivenRngState) {
+  const double ui = 156.25, sigma = 2.0;
+  const gm::DjDistribution dj = gm::dual_dirac_dj(12.0);
+  gm::TailSimOptions opt;
+  opt.n_points = 5;
+  opt.n_samples = 2000;
+  Rng a(7), b(7);
+  const auto ca = gm::importance_sampled_bathtub(ui, sigma, dj, opt, a);
+  const auto cb = gm::importance_sampled_bathtub(ui, sigma, dj, opt, b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].ber, cb[i].ber) << i;
+    EXPECT_EQ(ca[i].rel_stderr, cb[i].rel_stderr) << i;
+  }
+}
+
+TEST(IsBathtub, EyeOpeningInterpolatesOnTheLogCurve) {
+  // Synthetic exactly-exponential curve: BER = 1e-3 * 10^(-phase/10), so
+  // the log-linear interpolation is exact and the opening closed-form.
+  std::vector<gm::IsBerPoint> curve;
+  for (int i = 0; i <= 6; ++i) {
+    gm::IsBerPoint p;
+    p.phase_ps = 10.0 * i;
+    p.ber = 1e-3 * std::pow(10.0, -static_cast<double>(i));
+    curve.push_back(p);
+  }
+  const double ui = 156.25;
+  // Target 1e-7 falls mid-segment: crossing at phase 40, opening ui - 80.
+  EXPECT_NEAR(gm::is_eye_opening_at_ber(curve, ui, 1e-7), ui - 80.0, 1e-9);
+  // Target crossing exactly on a sample point.
+  EXPECT_NEAR(gm::is_eye_opening_at_ber(curve, ui, 1e-6), ui - 60.0, 1e-9);
+  // Whole curve below target: open everywhere.
+  EXPECT_EQ(gm::is_eye_opening_at_ber(curve, ui, 1e-2), ui);
+  // Whole curve above target: closed.
+  EXPECT_EQ(gm::is_eye_opening_at_ber(curve, ui, 1e-12), 0.0);
+  EXPECT_THROW(gm::is_eye_opening_at_ber({curve[0]}, ui, 1e-7),
+               std::invalid_argument);
+  EXPECT_THROW(gm::is_eye_opening_at_ber(curve, ui, 0.0),
+               std::invalid_argument);
+}
+
+TEST(IsBathtub, ZeroTailPointFallsBackToLinear) {
+  std::vector<gm::IsBerPoint> curve(2);
+  curve[0].phase_ps = 0.0;
+  curve[0].ber = 1e-6;
+  curve[1].phase_ps = 10.0;
+  curve[1].ber = 0.0;  // far point measured zero hits
+  const double got = gm::is_eye_opening_at_ber(curve, 100.0, 1e-7);
+  // Linear fallback: crossing at 0 + 10 * (1e-6 - 1e-7) / 1e-6 = 9.
+  EXPECT_NEAR(got, 100.0 - 2.0 * 9.0, 1e-9);
+}

@@ -404,7 +404,8 @@ void scan_r2(const std::string& label, const Lexed& lx, const Options& opt,
     if (t == "getenv")
       msg +=
           "; environment reads are confined to the allowlisted owners "
-          "(util/thread_pool, backend/dispatch)";
+          "(util/thread_pool, backend/dispatch, service/config, "
+          "campaign/config)";
     else
       msg += "; derive values from util::Rng or explicit configuration";
     out.push_back({label, toks[i].line, toks[i].col, "R2", std::move(msg)});
@@ -1086,7 +1087,7 @@ FileExtract extract_file(const std::string& label, const Lexed& lx) {
           callee == "compare_exchange_weak" || callee == "call_once")
         fn.has_cas = true;
       if (callee == "wait" || callee == "get" || callee == "sleep_for" ||
-          callee == "sleep_until") {
+          callee == "sleep_until" || callee == "waitpid") {
         IndexedFunction::BlockingSite site;
         site.line = toks[i - 1].line;
         site.col = toks[i - 1].col;
@@ -1100,9 +1101,10 @@ FileExtract extract_file(const std::string& label, const Lexed& lx) {
           site.what = callee;
         }
         // A member-less `wait(`/`get(` is some unrelated free function;
-        // only sleeps block unconditionally without a receiver.
+        // only sleeps and process reaps block unconditionally without a
+        // receiver.
         if (!site.receiver.empty() || callee == "sleep_for" ||
-            callee == "sleep_until")
+            callee == "sleep_until" || callee == "waitpid")
           fn.blocking.push_back(std::move(site));
       }
     }
@@ -1866,7 +1868,8 @@ std::vector<Finding> scan_global(const SymbolIndex& idx, const Options& opt,
       queue.pop_back();
       for (const auto& site : fn->blocking) {
         bool blocks = false;
-        if (site.method == "sleep_for" || site.method == "sleep_until") {
+        if (site.method == "sleep_for" || site.method == "sleep_until" ||
+            site.method == "waitpid") {
           blocks = true;
         } else if (site.method == "wait") {
           blocks = idx.cv_names.count(site.receiver) > 0 ||
@@ -1876,6 +1879,9 @@ std::vector<Finding> scan_global(const SymbolIndex& idx, const Options& opt,
                    fn->local_futures.count(site.receiver) > 0;
         }
         if (!blocks) continue;
+        // Scoped allowance: the campaign orchestrator's post-EOF child
+        // reap is progress-safe by construction (see Options doc).
+        if (label_contains_any(fn->file, opt.blocking_allowed)) continue;
         if (!seen_sites.insert({fn->file, site.line, site.col}).second)
           continue;
         raw.push_back(
@@ -2081,7 +2087,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"R2", "no nondeterminism sources (random_device, rand, time, clocks, "
              "getenv)",
        "everywhere; getenv allowed in util/thread_pool, backend/dispatch, "
-       "service/config"},
+       "service/config, campaign/config"},
       {"R3", "AnalogElement subclasses overriding step() must override "
              "process_block() and clone(); Rng/NoiseSource members need "
              "fork_noise()",
@@ -2103,9 +2109,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"R10", "explicit std::memory_order on every atomic op; write-once "
               "state stores only behind compare_exchange/call_once",
        "all atomics; write-once idiom in backend/dispatch, service/config"},
-      {"R11", "no blocking calls (sleep, cv/future wait, future get) "
-              "reachable from pool tasks or consume() bodies",
-       "cross-TU call graph from every pool root"},
+      {"R11", "no blocking calls (sleep, cv/future wait, future get, "
+              "waitpid) reachable from pool tasks or consume() bodies",
+       "cross-TU call graph from every pool root; campaign/ process reaps "
+       "scoped-allowed"},
       {"R12", "every AnalogElement subclass, kernel-table entry, and "
               "RequestKind must appear in its contract suite",
        "src vs tests/ cross-reference; needs --tests"},

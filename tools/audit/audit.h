@@ -138,14 +138,18 @@ struct Options {
   std::string fastmath_suffix = "util/fastmath.h";
   /// Labels containing one of these may call getenv (R2): thread_pool
   /// owns GDELAY_THREADS, the backend dispatcher owns GDELAY_BACKEND,
-  /// and the service config owns GDELAY_SERVICE_SHARDS — all three are
+  /// the service config owns GDELAY_SERVICE_SHARDS, and the campaign
+  /// config owns GDELAY_CAMPAIGN_MODE/_SHARDS — all of them
   /// reproducibility-neutral performance knobs (responses/results are
-  /// bit-identical at any setting). The service's request-handling paths
-  /// (service/service, service/cal_cache) are deliberately NOT listed:
-  /// an env read there could fork response content per host.
+  /// bit-identical at any setting; the campaign determinism suite pins
+  /// this across every mode/shard combination). The service's
+  /// request-handling paths (service/service, service/cal_cache) and the
+  /// campaign orchestrator proper (campaign/campaign) are deliberately
+  /// NOT listed: an env read there could fork result content per host.
   std::vector<std::string> getenv_allowed = {"util/thread_pool",
                                              "backend/dispatch",
-                                             "service/config"};
+                                             "service/config",
+                                             "campaign/config"};
   /// R5 applies to labels starting with one of these prefixes.
   std::vector<std::string> analog_prefixes = {"analog/", "signal/", "core/"};
   /// Labels containing one of these may hold namespace-scope mutable
@@ -162,6 +166,14 @@ struct Options {
   /// R8 applies to labels containing one of these fragments — the
   /// concurrent surface grown by the service layer and the pool itself.
   std::vector<std::string> lock_scope = {"service/", "util/thread_pool"};
+  /// Labels containing one of these may carry blocking calls reachable
+  /// from pool tasks (R11). The campaign orchestrator's fork-mode pipe
+  /// drain ends in a waitpid() per child; that wait cannot park a worker
+  /// indefinitely (the read loop only reaches it after pipe EOF, i.e.
+  /// after the child has closed its end and is exiting), which is the
+  /// progress argument this scoped entry records. Everything outside
+  /// campaign/ still gets the finding.
+  std::vector<std::string> blocking_allowed = {"campaign/"};
   /// R10 write-once idiom check applies to these labels (the same two
   /// owners as the R4 allowlist): their namespace-scope atomics claim to
   /// be write-once caches, so the stores must sit behind a

@@ -13,6 +13,20 @@
 //   gdelay_tool deskew [--lanes N] [--skew PS] [--seed S]
 //       Run the full bus-deskew flow and print the before/after report.
 //
+//   gdelay_tool campaign [--units N] [--shards S] [--mode M] [--seed S]
+//                        [--ckpt DIR] [--every K] [--stop-after N]
+//                        [--work DIR]
+//       Run the built-in Monte-Carlo matching campaign (perturbed
+//       edge-model trials) through the orchestrator. --mode accepts
+//       serial, thread, fork, or exec; exec re-invokes this binary as
+//       one `campaign-worker` subprocess per shard and merges their
+//       framed result files. The merged-state hash printed at the end
+//       is identical for every mode, shard count and resume point.
+//
+//   gdelay_tool campaign-worker --shard I --result FILE [campaign opts]
+//       Run ONE shard of the campaign (with checkpoint/resume if
+//       --ckpt is given) and write its framed shard report to FILE.
+//
 //   gdelay_tool --backends
 //       List the compute backends known to this build, their
 //       availability on this machine, and the active dispatch reason.
@@ -23,23 +37,35 @@
 //
 // All randomness is seeded; identical invocations produce identical
 // output.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
 
 #include "ate/bus.h"
 #include "ate/controller.h"
 #include "backend/backend.h"
 #include "bench/common.h"
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
 #include "core/cal_io.h"
 #include "core/calibration.h"
 #include "core/channel.h"
 #include "core/requirements.h"
+#include "core/variation.h"
+#include "fast/edge_model.h"
+#include "measure/stats.h"
 #include "signal/pattern.h"
 #include "signal/synth.h"
 #include "util/rng.h"
+#include "util/serde.h"
 
 using namespace gdelay;
 
@@ -47,6 +73,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string argv0;
   double rate_gbps = 3.2;
   std::size_t bits = 96;
   std::uint64_t seed = 2008;
@@ -55,16 +82,31 @@ struct Args {
   double delay_ps = 50.0;
   int lanes = 4;
   double skew_ps = 120.0;
+  // campaign / campaign-worker
+  std::uint64_t units = 20000;
+  std::size_t shards = 0;       ///< 0 = GDELAY_CAMPAIGN_SHARDS default.
+  std::string mode;             ///< serial|thread|fork|exec; "" = default.
+  std::string ckpt_dir;
+  std::uint64_t every = 0;
+  std::uint64_t stop_after = 0;
+  long shard = -1;
+  std::string result_path;
+  std::string work_dir = "campaign_work";
 };
 
 [[noreturn]] void usage(int code) {
   std::fprintf(stderr,
-               "usage: gdelay_tool <characterize|calibrate|plan|deskew>"
-               " [options]\n"
+               "usage: gdelay_tool <characterize|calibrate|plan|deskew"
+               "|campaign|campaign-worker> [options]\n"
                "  common : --rate GBPS --bits N --seed S\n"
                "  calibrate: --out FILE\n"
                "  plan   : --cal FILE --delay PS\n"
                "  deskew : --lanes N --skew PS\n"
+               "  campaign: --units N --shards S --mode"
+               " serial|thread|fork|exec\n"
+               "            --ckpt DIR --every K --stop-after N --work DIR\n"
+               "  campaign-worker: --shard I --result FILE"
+               " [+ campaign opts]\n"
                "  --backends : list compute backends and exit\n"
                "  --version  : print git revision + BENCH schema and exit\n");
   std::exit(code);
@@ -84,6 +126,7 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args a;
   if (argc < 2) usage(2);
+  a.argv0 = argv[0];
   a.command = argv[1];
   if (a.command == "--backends") print_backends();
   if (a.command == "--version") print_version();
@@ -102,6 +145,15 @@ Args parse(int argc, char** argv) {
     else if (key == "--delay") a.delay_ps = std::atof(value());
     else if (key == "--lanes") a.lanes = std::atoi(value());
     else if (key == "--skew") a.skew_ps = std::atof(value());
+    else if (key == "--units") a.units = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (key == "--shards") a.shards = static_cast<std::size_t>(std::atoll(value()));
+    else if (key == "--mode") a.mode = value();
+    else if (key == "--ckpt") a.ckpt_dir = value();
+    else if (key == "--every") a.every = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (key == "--stop-after") a.stop_after = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (key == "--shard") a.shard = std::atol(value());
+    else if (key == "--result") a.result_path = value();
+    else if (key == "--work") a.work_dir = value();
     else if (key == "--help" || key == "-h") usage(0);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
@@ -188,6 +240,193 @@ int cmd_deskew(const Args& a) {
   return rep.span_after_ps < core::Requirements::kChannelSkewPs ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign: the built-in Monte-Carlo matching workload. The worker and
+// the orchestrating parent derive the SAME workload from the same
+// (seed, rate, bits) arguments, so a worker spawned by `--mode exec`
+// produces a shard report the parent can merge.
+// ---------------------------------------------------------------------------
+
+struct CampaignWorkload {
+  fast::EdgeModelParams proto;
+  core::ProcessVariation pv;
+  double fine_span = 0.0;
+};
+
+CampaignWorkload make_workload(const Args& a) {
+  util::Rng rng(a.seed);
+  sig::SynthConfig sc;
+  sc.rate_gbps = a.rate_gbps;
+  const auto stim = sig::synthesize_nrz(sig::prbs(7, a.bits), sc);
+  core::VariableDelayChannel ch(core::ChannelConfig::prototype(),
+                                rng.fork(1));
+  core::DelayCalibrator::Options o;
+  o.n_vctrl_points = 9;
+  CampaignWorkload w;
+  w.proto = fast::fit_edge_model(ch, stim.wf, stim.unit_interval_ps, o);
+  w.fine_span = w.proto.fine_curve.y_span();
+  return w;
+}
+
+campaign::AccumulatorSet campaign_factory() {
+  campaign::AccumulatorSet s;
+  s.push_back(std::make_unique<campaign::RecordAccumulator>(4));
+  return s;
+}
+
+// One trial = one synthetic part drawn from the unit's private
+// substream: scaled fine characteristic, jittered coarse taps, scattered
+// added RJ, post-calibration residual = quantization + measurement noise.
+void campaign_unit(const CampaignWorkload& w, std::uint64_t unit,
+                   util::Rng& rng, campaign::AccumulatorSet& accs) {
+  const double fine_scale = 1.0 + w.pv.buffer_sigma_frac * rng.gaussian();
+  double worst_tap = 0.0;
+  for (std::size_t t = 1; t < w.proto.tap_offset_ps.size(); ++t) {
+    const double tap = w.proto.tap_offset_ps[t] +
+                       w.pv.tap_length_sigma_ps * rng.gaussian();
+    worst_tap = std::max(worst_tap, tap);
+  }
+  const double rj =
+      std::max(0.0, w.proto.added_rj_sigma_ps *
+                        (1.0 + w.pv.noise_sigma_frac * rng.gaussian()));
+  const double fine_range = w.fine_span * fine_scale;
+  const double total_range = fine_range + worst_tap;
+  const double resolution = fine_range / 255.0;
+  const double err = std::abs(resolution * (rng.uniform() - 0.5)) +
+                     std::abs(rj / std::sqrt(96.0) * rng.gaussian());
+  const double rec[4] = {fine_range, total_range, resolution, err};
+  static_cast<campaign::RecordAccumulator&>(*accs[0]).add(unit, rec);
+}
+
+campaign::CampaignSpec make_campaign_spec(const Args& a) {
+  campaign::CampaignSpec spec;
+  spec.name = "cli";
+  spec.seed = a.seed;
+  spec.n_units = a.units;
+  spec.n_shards = a.shards;
+  if (!a.mode.empty() && a.mode != "exec")
+    spec.mode = campaign::parse_mode(a.mode);
+  spec.checkpoint_dir = a.ckpt_dir;
+  spec.checkpoint_every = a.every;
+  spec.stop_after_units = a.stop_after;
+  return spec;
+}
+
+std::string self_exe_path(const Args& a) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+#endif
+  return a.argv0;
+}
+
+int print_campaign_result(const campaign::CampaignResult& r,
+                          const char* mode_label) {
+  const auto& recs =
+      static_cast<const campaign::RecordAccumulator&>(*r.accumulators[0]);
+  std::vector<double> fine, total, err;
+  fine.reserve(recs.size());
+  total.reserve(recs.size());
+  err.reserve(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const double* v = recs.values_at(i);
+    fine.push_back(v[0]);
+    total.push_back(v[1]);
+    err.push_back(v[3]);
+  }
+  util::ByteWriter w;
+  for (const auto& acc : r.accumulators) acc->save(w);
+  const std::uint64_t hash =
+      util::fnv1a64(w.bytes().data(), w.bytes().size());
+  std::printf("campaign: %llu units over %zu shards (%s), %s%s\n",
+              static_cast<unsigned long long>(r.units_done), r.n_shards,
+              mode_label, r.complete ? "complete" : "stopped early",
+              r.resumed ? ", resumed from checkpoint" : "");
+  if (!fine.empty()) {
+    const auto fs = meas::summarize(fine);
+    const auto ts = meas::summarize(total);
+    const auto es = meas::summarize(err);
+    std::printf("  fine range  %6.2f +/- %.2f ps (min %6.2f)\n", fs.mean,
+                fs.stddev, fs.min);
+    std::printf("  total range %6.2f +/- %.2f ps (min %6.2f)\n", ts.mean,
+                ts.stddev, ts.min);
+    std::printf("  prog error  %6.3f ps mean, worst %.3f ps\n", es.mean,
+                es.max);
+  }
+  std::printf("  state hash %016llx\n",
+              static_cast<unsigned long long>(hash));
+  return 0;
+}
+
+int cmd_campaign_worker(const Args& a) {
+  if (a.shard < 0 || a.result_path.empty()) usage(2);
+  const CampaignWorkload w = make_workload(a);
+  campaign::run_shard_to_file(
+      make_campaign_spec(a), static_cast<std::size_t>(a.shard),
+      campaign_factory,
+      [&](std::uint64_t unit, util::Rng& rng,
+          campaign::AccumulatorSet& accs) {
+        campaign_unit(w, unit, rng, accs);
+      },
+      a.result_path);
+  std::printf("shard %ld report written to %s\n", a.shard,
+              a.result_path.c_str());
+  return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  const CampaignWorkload w = make_workload(a);
+  const auto unit_fn = [&](std::uint64_t unit, util::Rng& rng,
+                           campaign::AccumulatorSet& accs) {
+    campaign_unit(w, unit, rng, accs);
+  };
+
+  if (a.mode == "exec") {
+    // Re-invoke this binary as one worker process per shard, then merge
+    // the framed result files — the fully-isolated orchestration path
+    // (fresh address space per shard, results via the filesystem).
+    const std::size_t n_shards =
+        a.shards ? a.shards : campaign::default_shards();
+    const std::string exe = self_exe_path(a);
+    std::vector<std::string> frames;
+    frames.reserve(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::string result =
+          a.work_dir + "/cli.shard" + std::to_string(s) + ".result";
+      std::string cmd = "\"" + exe + "\" campaign-worker --shard " +
+                        std::to_string(s) + " --result \"" + result +
+                        "\" --units " + std::to_string(a.units) +
+                        " --shards " + std::to_string(n_shards) +
+                        " --seed " + std::to_string(a.seed) + " --rate " +
+                        std::to_string(a.rate_gbps) + " --bits " +
+                        std::to_string(a.bits);
+      if (!a.ckpt_dir.empty()) cmd += " --ckpt \"" + a.ckpt_dir + "\"";
+      if (a.every) cmd += " --every " + std::to_string(a.every);
+      if (a.stop_after)
+        cmd += " --stop-after " + std::to_string(a.stop_after);
+      if (std::system(cmd.c_str()) != 0)
+        throw std::runtime_error("campaign: worker for shard " +
+                                 std::to_string(s) + " failed");
+      const auto bytes = campaign::read_file(result);
+      if (!bytes)
+        throw std::runtime_error("campaign: missing worker report " +
+                                 result);
+      frames.push_back(*bytes);
+    }
+    campaign::CampaignSpec spec = make_campaign_spec(a);
+    spec.n_shards = n_shards;
+    return print_campaign_result(
+        campaign::merge_shard_reports(spec, campaign_factory, frames),
+        "exec");
+  }
+
+  const campaign::CampaignResult r =
+      campaign::run_campaign(make_campaign_spec(a), campaign_factory,
+                             unit_fn);
+  return print_campaign_result(r, campaign::mode_name(r.mode));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +436,8 @@ int main(int argc, char** argv) {
     if (a.command == "calibrate") return cmd_calibrate(a);
     if (a.command == "plan") return cmd_plan(a);
     if (a.command == "deskew") return cmd_deskew(a);
+    if (a.command == "campaign") return cmd_campaign(a);
+    if (a.command == "campaign-worker") return cmd_campaign_worker(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
